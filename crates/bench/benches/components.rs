@@ -1,0 +1,102 @@
+//! Substrate microbenchmarks: the data structures the simulation's
+//! throughput stands on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use odb_core::config::{CacheGeometry, SystemConfig};
+use odb_des::{EventQueue, SimTime};
+use odb_engine::buffer::BufferCache;
+use odb_engine::schema::PageMap;
+use odb_engine::txn::TxnSampler;
+use odb_memsim::cache::SetAssocCache;
+use odb_memsim::dist::Zipf;
+use odb_memsim::hierarchy::{CpuHierarchy, Space};
+use odb_memsim::tlb::Tlb;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let geometry = CacheGeometry::new(1 << 20, 64, 8).unwrap();
+    let mut cache = SetAssocCache::new(geometry);
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("l3_access_zipf", |b| {
+        let zipf = Zipf::new(1 << 16, 0.9);
+        b.iter(|| {
+            let line = zipf.sample(&mut rng) * 64;
+            black_box(cache.access(line, false))
+        })
+    });
+    let mut hierarchy = CpuHierarchy::new(&SystemConfig::xeon_quad());
+    group.bench_function("full_hierarchy_data_ref", |b| {
+        let zipf = Zipf::new(1 << 16, 0.9);
+        b.iter(|| {
+            let addr = zipf.sample(&mut rng) * 64;
+            black_box(hierarchy.access_data(addr, false, Space::User))
+        })
+    });
+    let mut tlb = Tlb::new(64);
+    group.bench_function("tlb_access", |b| {
+        let zipf = Zipf::new(1 << 12, 0.9);
+        b.iter(|| black_box(tlb.access(zipf.sample(&mut rng) << 12)))
+    });
+    group.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_cache");
+    group.throughput(Throughput::Elements(1));
+    let mut cache = BufferCache::new(100_000);
+    let zipf = Zipf::new(400_000, 0.9);
+    let mut rng = SmallRng::seed_from_u64(2);
+    group.bench_function("lru_access_mixed", |b| {
+        b.iter(|| {
+            let page = zipf.sample(&mut rng);
+            black_box(cache.access(page, page.is_multiple_of(5)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("schedule_pop_1k_horizon", |b| {
+        let mut q = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_nanos(i * 97), i);
+        }
+        let mut t = 100_000u64;
+        b.iter(|| {
+            let (when, _) = q.pop().expect("queue stays full");
+            t = t.max(when.as_nanos()) + rng.gen_range(1..200);
+            q.schedule(SimTime::from_nanos(t), 0);
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(1));
+    let mut sampler = TxnSampler::new(PageMap::new(800));
+    let mut rng = SmallRng::seed_from_u64(4);
+    group.bench_function("txn_sample_800w", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng).touches.len()))
+    });
+    let zipf = Zipf::new(100_000, 1.0);
+    group.bench_function("zipf_sample_100k", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_buffer,
+    bench_event_queue,
+    bench_workload
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Measurement-machinery benchmarks: what one experimental data point
+//! costs, stage by stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_des::SimTime;
+use odb_engine::profile::{trace_params, OdbRefSource, WorkloadEstimates};
+use odb_engine::schema::PageMap;
+use odb_engine::system::{SystemParams, SystemSim};
+use odb_engine::txn::TxnSampler;
+use odb_engine::{OdbSimulator, SimOptions};
+use odb_memsim::Characterizer;
+
+fn config(w: u32, c: u32, p: u32) -> OltpConfig {
+    OltpConfig::new(
+        WorkloadConfig::new(w, c).unwrap(),
+        SystemConfig::xeon_quad().with_processors(p),
+    )
+    .unwrap()
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let cfg = config(100, 48, 4);
+    let params = trace_params(&cfg, &WorkloadEstimates::initial());
+    let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
+    let sampler = TxnSampler::new(PageMap::new(100));
+    group.bench_function("characterize_400k_instr_4p", |b| {
+        b.iter(|| {
+            characterizer.run(
+                |_| OdbRefSource::with_sampler(sampler.clone(), 4),
+                42,
+                200_000,
+                200_000,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_system_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let cfg = config(100, 48, 4);
+    let params = trace_params(&cfg, &WorkloadEstimates::initial());
+    let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
+    let sampler = TxnSampler::new(PageMap::new(100));
+    let rates = characterizer
+        .run(
+            |_| OdbRefSource::with_sampler(sampler.clone(), 4),
+            42,
+            400_000,
+            300_000,
+        )
+        .rates;
+    group.bench_function("system_sim_1s_100w_4p", |b| {
+        b.iter(|| {
+            let mut sim =
+                SystemSim::new(cfg.clone(), SystemParams::default(), rates, 42).unwrap();
+            sim.run_for(SimTime::from_secs(1));
+            sim.committed()
+        })
+    });
+    group.bench_function("full_point_quick_100w_4p", |b| {
+        b.iter(|| {
+            OdbSimulator::new(cfg.clone(), SimOptions::quick())
+                .unwrap()
+                .run()
+                .unwrap()
+                .tps()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization, bench_system_sim);
+criterion_main!(benches);

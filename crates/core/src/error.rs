@@ -1,0 +1,101 @@
+//! Error type shared by the analytical models.
+
+use std::fmt;
+
+/// Errors produced by the analytical models in this crate.
+///
+/// All fitting and configuration routines validate their inputs and return
+/// this type rather than panicking, so callers can drive them with arbitrary
+/// measured data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A regression was attempted on fewer points than the model requires.
+    ///
+    /// `needed` is the minimum number of points, `got` the number supplied.
+    TooFewPoints {
+        /// Minimum number of points required by the model.
+        needed: usize,
+        /// Number of points actually supplied.
+        got: usize,
+    },
+    /// The `x` and `y` slices passed to a regression differ in length.
+    LengthMismatch {
+        /// Length of the `x` slice.
+        xs: usize,
+        /// Length of the `y` slice.
+        ys: usize,
+    },
+    /// All `x` values are identical, so a slope cannot be determined.
+    DegenerateXs,
+    /// A value was not finite (NaN or infinite) where a finite number is
+    /// required.
+    NonFinite {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable reason the value was rejected.
+        reason: String,
+    },
+    /// The data points are not sorted by strictly increasing `x`, which the
+    /// two-segment fit requires to define contiguous regions.
+    UnsortedXs,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooFewPoints { needed, got } => {
+                write!(f, "regression needs at least {needed} points, got {got}")
+            }
+            Error::LengthMismatch { xs, ys } => {
+                write!(f, "x and y lengths differ ({xs} vs {ys})")
+            }
+            Error::DegenerateXs => write!(f, "all x values are identical"),
+            Error::NonFinite { what } => write!(f, "{what} is not a finite number"),
+            Error::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field `{field}`: {reason}")
+            }
+            Error::UnsortedXs => write!(f, "x values must be strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            Error::TooFewPoints { needed: 4, got: 1 },
+            Error::LengthMismatch { xs: 3, ys: 2 },
+            Error::DegenerateXs,
+            Error::NonFinite { what: "cpi" },
+            Error::InvalidConfig {
+                field: "warehouses",
+                reason: "must be nonzero".to_owned(),
+            },
+            Error::UnsortedXs,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,150 @@
+//! The iron law of database performance (§3.4).
+//!
+//! The paper adapts the classic iron law of processor performance
+//! (`S = F / (PL × CPI)`) to transaction throughput on a multiprocessor:
+//!
+//! ```text
+//! TPS_mp = (P × F) / (IPX × CPI)
+//! ```
+//!
+//! where `P` is the processor count, `F` the clock frequency, `IPX` the
+//! average instructions executed per transaction, and `CPI` the average
+//! cycles per instruction measured at each processor (including the effects
+//! of inter-processor communication).
+
+/// Transactions per second predicted by the iron law.
+///
+/// Non-positive or non-finite `ipx`/`cpi` yield `0.0` rather than an
+/// infinity, so the function is safe to call on unvalidated measurements.
+///
+/// ```
+/// use odb_core::ironlaw::tps;
+///
+/// // One 1.6 GHz processor, 1M instructions/txn at CPI 2 -> 800 TPS.
+/// assert_eq!(tps(1, 1.6e9, 1.0e6, 2.0), 800.0);
+/// // Four processors quadruple it.
+/// assert_eq!(tps(4, 1.6e9, 1.0e6, 2.0), 3200.0);
+/// ```
+pub fn tps(processors: u32, frequency_hz: f64, ipx: f64, cpi: f64) -> f64 {
+    if !ipx.is_finite() || !cpi.is_finite() || ipx <= 0.0 || cpi <= 0.0 || frequency_hz <= 0.0 {
+        return 0.0;
+    }
+    processors as f64 * frequency_hz / (ipx * cpi)
+}
+
+/// Single-processor throughput, `TPS_cpu = F / (IPX × CPI)`.
+pub fn tps_per_cpu(frequency_hz: f64, ipx: f64, cpi: f64) -> f64 {
+    tps(1, frequency_hz, ipx, cpi)
+}
+
+/// The CPI a system must achieve to reach `target_tps`, holding the other
+/// iron-law terms fixed; `None` if the target is unreachable (zero or
+/// negative inputs).
+///
+/// ```
+/// use odb_core::ironlaw::cpi_for;
+///
+/// let cpi = cpi_for(3200.0, 4, 1.6e9, 1.0e6).unwrap();
+/// assert_eq!(cpi, 2.0);
+/// ```
+pub fn cpi_for(target_tps: f64, processors: u32, frequency_hz: f64, ipx: f64) -> Option<f64> {
+    if target_tps <= 0.0 || ipx <= 0.0 || frequency_hz <= 0.0 || processors == 0 {
+        return None;
+    }
+    let cpi = processors as f64 * frequency_hz / (target_tps * ipx);
+    cpi.is_finite().then_some(cpi)
+}
+
+/// The IPX a workload must shrink to in order to reach `target_tps`,
+/// holding the other iron-law terms fixed; `None` if unreachable.
+pub fn ipx_for(target_tps: f64, processors: u32, frequency_hz: f64, cpi: f64) -> Option<f64> {
+    if target_tps <= 0.0 || cpi <= 0.0 || frequency_hz <= 0.0 || processors == 0 {
+        return None;
+    }
+    let ipx = processors as f64 * frequency_hz / (target_tps * cpi);
+    ipx.is_finite().then_some(ipx)
+}
+
+/// Relative throughput of configuration `b` over configuration `a`, each
+/// given as `(processors, frequency_hz, ipx, cpi)`.
+///
+/// The paper's central observation is that a larger `W` *degrades*
+/// throughput through both IPX growth and CPI growth; this helper
+/// quantifies the combined effect.
+///
+/// ```
+/// use odb_core::ironlaw::speedup;
+///
+/// // Doubling IPX and raising CPI 50% costs 3x in throughput.
+/// let s = speedup((4, 1.6e9, 1.0e6, 2.0), (4, 1.6e9, 2.0e6, 3.0));
+/// assert!((s - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn speedup(a: (u32, f64, f64, f64), b: (u32, f64, f64, f64)) -> f64 {
+    let ta = tps(a.0, a.1, a.2, a.3);
+    let tb = tps(b.0, b.1, b.2, b.3);
+    if ta <= 0.0 {
+        return 0.0;
+    }
+    tb / ta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 1.6e9;
+
+    #[test]
+    fn tps_scales_linearly_in_p_and_f() {
+        let base = tps(1, F, 1.2e6, 4.0);
+        assert!((tps(2, F, 1.2e6, 4.0) - 2.0 * base).abs() < 1e-9);
+        assert!((tps(4, F, 1.2e6, 4.0) - 4.0 * base).abs() < 1e-9);
+        assert!((tps(1, 2.0 * F, 1.2e6, 4.0) - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tps_inverse_in_ipx_and_cpi() {
+        let base = tps(4, F, 1.0e6, 2.0);
+        assert!((tps(4, F, 2.0e6, 2.0) - base / 2.0).abs() < 1e-9);
+        assert!((tps(4, F, 1.0e6, 4.0) - base / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero() {
+        assert_eq!(tps(4, F, 0.0, 2.0), 0.0);
+        assert_eq!(tps(4, F, 1.0e6, 0.0), 0.0);
+        assert_eq!(tps(4, F, -1.0, 2.0), 0.0);
+        assert_eq!(tps(4, 0.0, 1.0e6, 2.0), 0.0);
+        assert_eq!(tps(4, F, f64::NAN, 2.0), 0.0);
+        assert_eq!(tps(0, F, 1.0e6, 2.0), 0.0);
+    }
+
+    #[test]
+    fn solvers_round_trip() {
+        let t = tps(4, F, 1.3e6, 3.7);
+        let cpi = cpi_for(t, 4, F, 1.3e6).unwrap();
+        assert!((cpi - 3.7).abs() < 1e-9);
+        let ipx = ipx_for(t, 4, F, 3.7).unwrap();
+        assert!((ipx - 1.3e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solvers_reject_degenerate_targets() {
+        assert!(cpi_for(0.0, 4, F, 1.0e6).is_none());
+        assert!(cpi_for(100.0, 0, F, 1.0e6).is_none());
+        assert!(ipx_for(-5.0, 4, F, 2.0).is_none());
+        assert!(ipx_for(100.0, 4, F, 0.0).is_none());
+    }
+
+    #[test]
+    fn per_cpu_matches_p1() {
+        assert_eq!(tps_per_cpu(F, 1.0e6, 2.0), tps(1, F, 1.0e6, 2.0));
+    }
+
+    #[test]
+    fn speedup_of_identical_configs_is_one() {
+        let c = (4, F, 1.2e6, 4.0);
+        assert!((speedup(c, c) - 1.0).abs() < 1e-12);
+        assert_eq!(speedup((4, F, 0.0, 4.0), c), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Core models from *Scaling and Characterizing Database Workloads:
+//! Bridging the Gap between Research and Practice* (Hankins, Diep,
+//! Annavaram, Hirano, Eri, Nueckel, Shen — MICRO 2003).
+//!
+//! This crate implements the paper's analytical contribution, independent of
+//! any particular measurement source:
+//!
+//! * the **iron law of database performance** ([`ironlaw`]):
+//!   `TPS = (P × F) / (IPX × CPI)`;
+//! * the **CPI breakdown** methodology of the paper's Tables 2–4
+//!   ([`breakdown`]): fixed stall costs per microarchitectural event, summed
+//!   into a computed CPI, with the residual reported as *Other*;
+//! * **linear and two-segment piecewise-linear regression** ([`regression`],
+//!   [`pivot`]) used by the paper to split CPI/MPI trends into a *cached* and
+//!   a *scaled* region whose intersection is the **pivot point**;
+//! * **extrapolation** from a minimal representative configuration
+//!   ([`extrapolate`]): predicting large-configuration behaviour from
+//!   measurements at or just beyond the pivot.
+//!
+//! It also defines the configuration and metric vocabulary shared by the
+//! simulation substrates ([`config`], [`metrics`], [`series`]): warehouses,
+//! clients, processors and disks on one axis; TPS, IPX, CPI and MPI on the
+//! other.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use odb_core::ironlaw;
+//! use odb_core::pivot::TwoSegmentFit;
+//!
+//! // The iron law: a 4-processor, 1.6 GHz system executing 1.2M
+//! // instructions per transaction at CPI 4.0 sustains ~1333 TPS.
+//! let tps = ironlaw::tps(4, 1.6e9, 1.2e6, 4.0);
+//! assert!((tps - 1333.3).abs() < 1.0);
+//!
+//! // Pivot-point analysis: a steep cached region followed by a flat
+//! // scaled region intersect near x = 100.
+//! let xs = [10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+//! let ys = [1.0, 1.6, 2.6, 4.6, 4.8, 5.2, 6.0];
+//! let fit = TwoSegmentFit::fit(&xs, &ys)?;
+//! let pivot = fit.pivot().expect("regions intersect");
+//! assert!(pivot.x > 50.0 && pivot.x < 250.0);
+//! # Ok::<(), odb_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod config;
+pub mod error;
+pub mod extrapolate;
+pub mod ironlaw;
+pub mod metrics;
+pub mod paper;
+pub mod pivot;
+pub mod regression;
+pub mod series;
+
+pub use error::Error;

@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The full-system OLTP simulator (`odb-engine`) is built on this kernel:
+//! a virtual clock ([`SimTime`]) and a pending-event set
+//! ([`EventQueue`]) with two properties the reproduction depends on:
+//!
+//! * **Determinism** — events scheduled for the same instant are delivered
+//!   in scheduling order (FIFO tie-breaking by sequence number), so a run
+//!   is a pure function of its configuration and RNG seeds.
+//! * **Cancellation** — scheduled events can be revoked (e.g. a timeout
+//!   raced by an I/O completion) without disturbing ordering.
+//!
+//! # Example
+//!
+//! ```
+//! use odb_des::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { IoDone(u32), Tick }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_micros(50), Ev::Tick);
+//! q.schedule(SimTime::from_micros(10), Ev::IoDone(7));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_micros(10));
+//! assert_eq!(ev, Ev::IoDone(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod time;
+
+pub use queue::{EventHandle, EventQueue};
+pub use time::SimTime;

@@ -1,0 +1,252 @@
+//! The pending-event set: a cancellable priority queue with deterministic
+//! FIFO tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// Heap entry ordered by `(time, seq)` ascending.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first, with the
+        // sequence number breaking ties so same-instant events pop FIFO.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event list over payloads of type `E`.
+///
+/// Events at equal timestamps are delivered in the order they were
+/// scheduled, which makes whole simulations reproducible. Cancellation is
+/// O(1) amortized: cancelled sequence numbers are tombstoned and skipped
+/// at pop time.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers scheduled but neither delivered nor cancelled.
+    live: std::collections::HashSet<u64>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` for delivery at absolute time `at` and returns
+    /// a handle usable with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` only if the
+    /// event had not yet been delivered or cancelled; cancelling a
+    /// delivered, already-cancelled, or never-issued handle is a no-op
+    /// that returns `false`.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.live.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest live event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.seq) {
+                return Some((entry.time, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live_events", &self.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_nanos(1), 1);
+        let h2 = q.schedule(SimTime::from_nanos(2), 2);
+        q.schedule(SimTime::from_nanos(3), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(3), 3)));
+        assert_eq!(q.pop(), None);
+        // Cancelling an already-delivered event is a no-op.
+        assert!(!q.cancel(h1));
+        // A handle that was never issued is rejected.
+        assert!(!q.cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancellations() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), "dead");
+        q.schedule(SimTime::from_nanos(5), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0);
+        let s = format!("{q:?}");
+        assert!(s.contains("live_events: 1"));
+    }
+
+    proptest! {
+        /// Popping always yields non-decreasing timestamps, with FIFO
+        /// delivery among equal timestamps, under any schedule/cancel mix.
+        #[test]
+        fn ordering_invariant(
+            ops in proptest::collection::vec((0u64..50, proptest::bool::weighted(0.2)), 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for (i, &(t, cancel_one)) in ops.iter().enumerate() {
+                handles.push(q.schedule(SimTime::from_nanos(t), i));
+                if cancel_one && !handles.is_empty() {
+                    let victim = handles[i / 2];
+                    q.cancel(victim);
+                }
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            let mut popped = 0usize;
+            while let Some((t, id)) = q.pop() {
+                popped += 1;
+                if let Some((lt, lid)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(id > lid, "FIFO violated at {t:?}");
+                    }
+                }
+                last = Some((t, id));
+            }
+            prop_assert!(popped <= ops.len());
+        }
+
+        /// len() always equals the number of events pop() will deliver.
+        #[test]
+        fn len_matches_drain(
+            times in proptest::collection::vec(0u64..1000, 0..100),
+            cancel_idx in proptest::collection::vec(0usize..100, 0..20),
+        ) {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = times
+                .iter()
+                .map(|&t| q.schedule(SimTime::from_nanos(t), ()))
+                .collect();
+            for &i in &cancel_idx {
+                if i < handles.len() {
+                    q.cancel(handles[i]);
+                }
+            }
+            let expected = q.len();
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            prop_assert_eq!(n, expected);
+        }
+    }
+}

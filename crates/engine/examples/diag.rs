@@ -1,0 +1,27 @@
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_engine::system::{SystemParams, SystemSim};
+use odb_des::SimTime;
+use odb_memsim::rates::{EventRates, SpaceRates};
+
+fn flat_rates() -> EventRates {
+    let user = SpaceRates { tc_miss: 0.004, l2_miss: 0.015, l3_miss: 0.006, l3_coherence_miss: 0.0001,
+        l3_writeback: 0.0015, tlb_miss: 0.002, branch_mispred: 0.004, other_stall_cpi: 0.3 };
+    let os = SpaceRates { l3_miss: 0.004, l2_miss: 0.010, ..user };
+    EventRates { user, os }
+}
+
+fn main() {
+    for (w, c, p) in [(10u32, 10u32, 4u32), (10, 24, 4), (10, 8, 1), (2, 24, 4), (100, 24, 4), (100, 48, 4), (400, 56, 4)] {
+        let config = OltpConfig::new(WorkloadConfig::new(w, c).unwrap(),
+            SystemConfig::xeon_quad().with_processors(p)).unwrap();
+        let mut s = SystemSim::new(config, SystemParams::default(), flat_rates(), 42).unwrap();
+        s.run_for(SimTime::from_secs(1));
+        s.reset_stats();
+        s.run_for(SimTime::from_secs(3));
+        let m = s.collect();
+        println!("W={w:4} C={c:2} P={p}  TPS={:6.0} util={:.2} os%={:.2} cs/txn={:5.2} reads/txn={:5.2} logKB={:4.1} pwKB={:4.1} cpi={:.2} ipx={:.2}M conflicts={:.3} busutil={:.3} ioq={:.0}",
+            m.tps(), m.cpu_utilization, m.os_busy_fraction, m.context_switches_per_txn,
+            m.disk_reads_per_txn, m.io_per_txn.log_write_kb, m.io_per_txn.page_write_kb,
+            m.cpi(), m.ipx()/1e6, s.lock_stats().conflict_ratio(), m.bus_utilization, m.bus_transaction_cycles);
+    }
+}

@@ -1,0 +1,35 @@
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_engine::buffer::BufferCache;
+use odb_engine::schema::PageMap;
+use odb_engine::txn::TxnSampler;
+use odb_engine::schema::TouchKind;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn main() {
+    let config = OltpConfig::new(WorkloadConfig::new(100, 48).unwrap(), SystemConfig::xeon_quad()).unwrap();
+    let frames = (config.system.buffer_cache_bytes / 8192) as usize;
+    let mut buffer = BufferCache::new(frames);
+    let mut sampler = TxnSampler::new(PageMap::new(100));
+    let mut rng = SmallRng::seed_from_u64(0xDB_CAFE);
+    let mut touched = 0usize;
+    while touched < frames * 3 {
+        let txn = sampler.sample(&mut rng);
+        touched += txn.touches.len();
+        for t in txn.touches {
+            buffer.prewarm(t.page, t.kind == TouchKind::Write);
+        }
+    }
+    println!("len={} capacity={} dirty={} ({:.1}%)", buffer.len(), buffer.capacity(),
+        buffer.dirty_len(), 100.0*buffer.dirty_len() as f64/buffer.len() as f64);
+    // Now drive 200k touches and count dirty evictions
+    buffer.reset_stats();
+    for _ in 0..20_000 {
+        let txn = sampler.sample(&mut rng);
+        for t in txn.touches {
+            buffer.access(t.page, t.kind == TouchKind::Write);
+        }
+    }
+    let s = buffer.stats();
+    println!("accesses={} misses={} dirty_evictions={} per-miss={:.3}",
+        s.accesses, s.misses, s.dirty_evictions, s.dirty_evictions as f64/s.misses.max(1) as f64);
+}

@@ -1,0 +1,38 @@
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_engine::{OdbSimulator, SimOptions};
+
+fn main() {
+    let clients = |w: u32, p: u32| -> u32 {
+        // rough Table-1-like ladder
+        match (w, p) {
+            (w, 1) if w <= 100 => 8,
+            (_, 1) => 13,
+            (w, 2) if w <= 10 => 10,
+            (w, 2) if w <= 100 => 16,
+            (_, 2) => 36,
+            (w, _) if w <= 10 => 10,
+            (w, _) if w <= 50 => 32,
+            (w, _) if w <= 100 => 48,
+            (w, _) if w <= 500 => 56,
+            _ => 64,
+        }
+    };
+    for p in [1u32, 2, 4] {
+        for w in [10u32, 25, 50, 100, 200, 300, 500, 800, 1200] {
+            let c = clients(w, p);
+            let config = OltpConfig::new(WorkloadConfig::new(w, c).unwrap(),
+                SystemConfig::xeon_quad().with_processors(p)).unwrap();
+            let sim = OdbSimulator::new(config, SimOptions::standard()).unwrap();
+            let art = sim.run_detailed().unwrap();
+            let m = &art.measurement;
+            println!("P={p} W={w:4} C={c:2} TPS={:6.0} util={:.2} os%={:.2} ipx={:.2}M ipxU={:.2} ipxO={:.2} cpi={:.2} cpiU={:.2} cpiO={:.2} mpi={:.4} cs={:4.1} rd={:4.2} io(r/l/w)KB={:4.1}/{:3.1}/{:4.1} bus={:.2} ioq={:.0} coh%={:.1}",
+                m.tps(), m.cpu_utilization, m.os_busy_fraction,
+                m.ipx()/1e6, m.ipx_user()/1e6, m.ipx_os()/1e6,
+                m.cpi(), m.cpi_user(), m.cpi_os(), m.mpi()*1000.0,
+                m.context_switches_per_txn, m.disk_reads_per_txn,
+                m.io_per_txn.read_kb, m.io_per_txn.log_write_kb, m.io_per_txn.page_write_kb,
+                m.bus_utilization, m.bus_transaction_cycles,
+                art.characterization.coherence_miss_fraction()*100.0);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The ODB workload simulator: a from-scratch, full-system model of the
+//! paper's experimental subject.
+//!
+//! The paper runs the Oracle Database Benchmark — an order-entry OLTP
+//! workload over Oracle 9iR2 — on a 4-way Xeon server and measures it with
+//! hardware counters. None of that stack is available here, so this crate
+//! rebuilds the pieces that *determine the measured behaviour*:
+//!
+//! * [`schema`] — the warehouse/district/customer database layout and its
+//!   page map (≈100 MB, 12,800 8 KB pages per warehouse);
+//! * [`txn`] — the five transaction types, their mix, instruction budgets,
+//!   page-touch profiles, lock demands and redo volumes;
+//! * [`buffer`] — the SGA database buffer cache (page-level LRU over
+//!   ~344k frames) whose misses become disk reads;
+//! * [`locks`] — block-granularity lock manager; contention on the few
+//!   district blocks at small `W` produces the context-switch spike of
+//!   Fig 8;
+//! * [`writers`] — the log writer (group commit, ≈6 KB redo per
+//!   transaction) and database writer (dirty-page writeback with
+//!   coalescing) background behaviours;
+//! * [`profile`] — translation of a configuration into `odb-memsim`
+//!   characterization inputs (the [`profile::OdbRefSource`] emits the same
+//!   page population the engine touches);
+//! * [`system`] — the discrete-event full-system simulation: server
+//!   processes on a run queue over `P` CPUs, timing driven by
+//!   characterized event rates and the live bus model, I/O through the
+//!   disk array;
+//! * [`measure`] — the measurement pipeline: characterize → warm up →
+//!   sample, with an optional EMON noise stage, producing the
+//!   [`odb_core::metrics::Measurement`] rows behind every figure.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+//! use odb_engine::{OdbSimulator, SimOptions};
+//!
+//! let config = OltpConfig::new(
+//!     WorkloadConfig::new(100, 48)?,
+//!     SystemConfig::xeon_quad(),
+//! )?;
+//! let measurement = OdbSimulator::new(config, SimOptions::quick())?.run()?;
+//! println!("TPS {:.0}, CPI {:.2}", measurement.tps(), measurement.cpi());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod locks;
+pub mod measure;
+pub mod profile;
+pub mod schema;
+pub mod system;
+pub mod txn;
+pub mod writers;
+
+pub use measure::{OdbSimulator, SimOptions};

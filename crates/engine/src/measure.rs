@@ -1,0 +1,277 @@
+//! The measurement pipeline: characterize → simulate → (optionally)
+//! sample through EMON.
+//!
+//! One run of [`OdbSimulator`] reproduces the paper's §3.3 procedure for
+//! a single `(W, C, P)` configuration:
+//!
+//! 1. **Characterize** the memory system: the multi-processor cache
+//!    simulation turns the configuration into per-instruction event
+//!    rates.
+//! 2. **Simulate** the full system: warm up, then measure TPS, IPX, CPI,
+//!    utilization, I/O and context switches over a window.
+//! 3. **Iterate**: the OS share and context-switch rate measured in (2)
+//!    feed back into (1) — two rounds suffice (cache rates depend only
+//!    weakly on the feedback terms).
+//! 4. **Sample**: optionally pass the true counts through the EMON noise
+//!    model, reproducing the measurement error the paper discusses.
+
+use crate::profile::{trace_params, OdbRefSource, WorkloadEstimates};
+use crate::schema::PageMap;
+use crate::system::{SystemParams, SystemSim};
+use crate::txn::TxnSampler;
+use odb_core::config::OltpConfig;
+use odb_core::metrics::Measurement;
+use odb_des::SimTime;
+use odb_emon::{Emon, MeasurementPlan, NoiseModel};
+use odb_memsim::trace::Characterization;
+use odb_memsim::Characterizer;
+
+/// Knobs controlling simulation fidelity versus cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Cache-characterization warm-up, instructions per CPU.
+    pub char_warmup_instructions: u64,
+    /// Cache-characterization measurement, instructions per CPU.
+    pub char_measure_instructions: u64,
+    /// Full-system warm-up before the measurement window.
+    pub warmup: SimTime,
+    /// Measurement window length.
+    pub measure: SimTime,
+    /// Characterize→simulate fixed-point rounds (≥1).
+    pub iterations: u32,
+    /// Pass true counts through the EMON noise model.
+    pub emon_noise: bool,
+    /// Distinct cache lines emitted per page touch in characterization.
+    pub lines_per_touch: u32,
+    /// System-model tunables.
+    pub system: SystemParams,
+}
+
+impl SimOptions {
+    /// Fast settings for tests: one fixed-point round, short windows.
+    pub fn quick() -> Self {
+        Self {
+            seed: 42,
+            char_warmup_instructions: 500_000,
+            char_measure_instructions: 300_000,
+            warmup: SimTime::from_secs(1),
+            measure: SimTime::from_secs(2),
+            iterations: 1,
+            emon_noise: false,
+            lines_per_touch: 4,
+            system: SystemParams::default(),
+        }
+    }
+
+    /// Experiment-grade settings: two fixed-point rounds, longer windows
+    /// and deep cache warm-up.
+    pub fn standard() -> Self {
+        Self {
+            seed: 42,
+            char_warmup_instructions: 3_000_000,
+            char_measure_instructions: 2_000_000,
+            warmup: SimTime::from_secs(3),
+            measure: SimTime::from_secs(6),
+            iterations: 2,
+            emon_noise: false,
+            lines_per_touch: 4,
+            system: SystemParams::default(),
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with EMON sampling noise enabled.
+    #[must_use]
+    pub fn with_emon_noise(mut self) -> Self {
+        self.emon_noise = true;
+        self
+    }
+}
+
+/// Everything a run produced, for analyses that need more than the
+/// measurement row (coherence counters, raw rates).
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The (possibly EMON-sampled) measurement row.
+    pub measurement: Measurement,
+    /// The same row before sampling noise.
+    pub true_measurement: Measurement,
+    /// The final characterization round.
+    pub characterization: Characterization,
+    /// The final workload estimates (converged feedback terms).
+    pub estimates: WorkloadEstimates,
+}
+
+/// One-configuration simulator facade.
+#[derive(Debug, Clone)]
+pub struct OdbSimulator {
+    config: OltpConfig,
+    options: SimOptions,
+}
+
+impl OdbSimulator {
+    /// Validates and captures the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] for invalid
+    /// configurations or zero `iterations`.
+    pub fn new(config: OltpConfig, options: SimOptions) -> Result<Self, odb_core::Error> {
+        config.system.validate()?;
+        if options.iterations == 0 {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "iterations",
+                reason: "need at least one characterize/simulate round".to_owned(),
+            });
+        }
+        Ok(Self { config, options })
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &OltpConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline and returns the measurement row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate construction failures.
+    pub fn run(&self) -> Result<Measurement, odb_core::Error> {
+        Ok(self.run_detailed()?.measurement)
+    }
+
+    /// Runs the pipeline and returns all artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate construction failures.
+    pub fn run_detailed(&self) -> Result<RunArtifacts, odb_core::Error> {
+        let o = &self.options;
+        let w = self.config.workload.warehouses;
+        let mut estimates = WorkloadEstimates::initial();
+        let template_sampler =
+            TxnSampler::with_mix(PageMap::new(w), self.options.system.txn_mix);
+        let mut last: Option<(Measurement, Characterization)> = None;
+
+        for round in 0..o.iterations {
+            let params = trace_params(&self.config, &estimates);
+            let characterizer = Characterizer::new(self.config.system.clone(), params)?;
+            let sampler = template_sampler.clone();
+            let characterization = characterizer.run(
+                |_pid| OdbRefSource::with_sampler(sampler.clone(), o.lines_per_touch),
+                o.seed ^ (round as u64).wrapping_mul(0x9E37_79B9),
+                o.char_warmup_instructions,
+                o.char_measure_instructions,
+            );
+            let mut sim = SystemSim::new(
+                self.config.clone(),
+                o.system,
+                characterization.rates,
+                o.seed.wrapping_add(round as u64),
+            )?;
+            sim.run_for(o.warmup);
+            sim.reset_stats();
+            sim.run_for(o.measure);
+            let measurement = sim.collect();
+            estimates = WorkloadEstimates::from_measurement(&measurement);
+            last = Some((measurement, characterization));
+        }
+        let (true_measurement, characterization) = last.expect("iterations >= 1");
+
+        let measurement = if o.emon_noise {
+            let mut emon = Emon::new(
+                MeasurementPlan::scaled(100),
+                NoiseModel::default(),
+                o.seed ^ 0xE0_40_5E_ED,
+            );
+            let mut noisy = true_measurement.clone();
+            noisy.user = emon.sample_counts(&true_measurement.user);
+            noisy.os = emon.sample_counts(&true_measurement.os);
+            noisy
+        } else {
+            true_measurement.clone()
+        };
+        Ok(RunArtifacts {
+            measurement,
+            true_measurement,
+            characterization,
+            estimates,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odb_core::config::{SystemConfig, WorkloadConfig};
+
+    fn config(w: u32, c: u32, p: u32) -> OltpConfig {
+        OltpConfig::new(
+            WorkloadConfig::new(w, c).unwrap(),
+            SystemConfig::xeon_quad().with_processors(p),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn quick_run_produces_consistent_measurement() {
+        let sim = OdbSimulator::new(config(25, 12, 2), SimOptions::quick()).unwrap();
+        let art = sim.run_detailed().unwrap();
+        let m = &art.measurement;
+        assert!(m.transactions > 100, "txns {}", m.transactions);
+        assert!(m.cpi() > 1.0 && m.cpi() < 20.0, "cpi {}", m.cpi());
+        assert!(m.ipx() > 0.8e6 && m.ipx() < 3.0e6, "ipx {}", m.ipx());
+        assert!(m.cpu_utilization > 0.5);
+        // Artifacts carry the characterization.
+        assert!(art.characterization.instructions > 0);
+        assert!(art.estimates.os_fraction > 0.0);
+        assert_eq!(art.measurement, art.true_measurement, "no noise requested");
+    }
+
+    #[test]
+    fn emon_noise_perturbs_counts_only() {
+        let opts = SimOptions::quick().with_emon_noise();
+        let sim = OdbSimulator::new(config(25, 12, 2), opts).unwrap();
+        let art = sim.run_detailed().unwrap();
+        assert_ne!(art.measurement.user, art.true_measurement.user);
+        assert_eq!(
+            art.measurement.transactions,
+            art.true_measurement.transactions
+        );
+        // Noise is small in relative terms for these large counts.
+        let rel = (art.measurement.cpi() - art.true_measurement.cpi()).abs()
+            / art.true_measurement.cpi();
+        assert!(rel < 0.2, "noise moved CPI by {rel}");
+    }
+
+    #[test]
+    fn rejects_zero_iterations() {
+        let mut opts = SimOptions::quick();
+        opts.iterations = 0;
+        assert!(OdbSimulator::new(config(10, 8, 1), opts).is_err());
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let sim = OdbSimulator::new(config(25, 12, 2), SimOptions::quick()).unwrap();
+        let a = sim.run().unwrap();
+        let b = sim.run().unwrap();
+        assert_eq!(a, b);
+        let sim2 = OdbSimulator::new(
+            config(25, 12, 2),
+            SimOptions::quick().with_seed(7),
+        )
+        .unwrap();
+        let c = sim2.run().unwrap();
+        assert_ne!(a.transactions, c.transactions);
+    }
+}

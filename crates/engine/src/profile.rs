@@ -1,0 +1,327 @@
+//! Translating an OLTP configuration into cache-characterization inputs.
+//!
+//! The warehouse count enters the memory system through three routes:
+//!
+//! 1. **Database data** — [`OdbRefSource`] replays the same page-touch
+//!    stream the DES executes (hot district/index/item pages at small
+//!    `W`, spreading out as `W` grows);
+//! 2. **Per-warehouse control structures** — buffer headers, row-cache
+//!    and library-cache entries grow ≈6 KB per warehouse; their hot set
+//!    crosses L3 capacity near 100–200 warehouses, producing the
+//!    cached→scaled knee of Figs 9/13;
+//! 3. **Context switching** — the engine's measured switch rate feeds
+//!    back into process-rotation pollution, the mechanism §5.2 cites for
+//!    the continued MPI climb in the scaled region.
+//!
+//! Routes 1–2 are structural; route 3 closes a feedback loop, so
+//! measurement runs the characterize→simulate cycle twice (a fixed-point
+//! iteration that converges fast because cache rates depend only weakly
+//! on the switch rate).
+
+use crate::schema::{PageMap, PAGE_BYTES};
+use crate::txn::TxnSampler;
+use odb_core::config::OltpConfig;
+use odb_core::metrics::Measurement;
+use odb_memsim::trace::{DataMix, DbRef, DbRefSource, TraceParams};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Workload quantities that only the full-system simulation can measure,
+/// estimated first and refined by iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadEstimates {
+    /// Fraction of instructions executed in OS space.
+    pub os_fraction: f64,
+    /// Instructions executed on a CPU between context switches.
+    pub instrs_per_context_switch: u64,
+}
+
+impl WorkloadEstimates {
+    /// Starting point for the fixed-point iteration: a lightly loaded
+    /// system (10% OS share, a switch every 400k instructions).
+    pub fn initial() -> Self {
+        Self {
+            os_fraction: 0.10,
+            instrs_per_context_switch: 400_000,
+        }
+    }
+
+    /// Refines the estimates from a completed measurement.
+    pub fn from_measurement(m: &Measurement) -> Self {
+        let total_ipx = m.ipx();
+        let os_fraction = if total_ipx > 0.0 {
+            (m.ipx_os() / total_ipx).clamp(0.02, 0.6)
+        } else {
+            0.10
+        };
+        let switches = m.context_switches_per_txn.max(0.5);
+        let instrs_per_context_switch = ((total_ipx / switches) as u64).clamp(20_000, 2_000_000);
+        Self {
+            os_fraction,
+            instrs_per_context_switch,
+        }
+    }
+}
+
+/// Builds the trace parameters for a configuration.
+///
+/// Field derivations are documented inline; everything not listed keeps
+/// the ODB-on-Xeon defaults of [`TraceParams::default`].
+pub fn trace_params(config: &OltpConfig, estimates: &WorkloadEstimates) -> TraceParams {
+    let w = config.workload.warehouses as u64;
+    let frames = (config.system.buffer_cache_bytes / PAGE_BYTES).max(1);
+    // LP64 machines carry ~2x pointer-heavy structures and less dense
+    // code (SystemConfig::structure_scale; 1.0 on the IA-32 baseline).
+    let scale = |bytes: u64| (bytes as f64 * config.system.structure_scale) as u64;
+    // Buffer headers: 64 B per resident page, but the *hot* slice is the
+    // headers of each warehouse's hot blocks: ~2.5 KB per warehouse.
+    let buffer_header_bytes = scale((24 << 10) + 2_560 * w.min(frames * 64 / (4 << 10)));
+    // Shared metadata: a fixed dictionary plus ~1.5 KB of row-cache and
+    // library-cache entries per warehouse. Together with the headers this
+    // grows the shared hot set ~4 KB per warehouse, crossing the 1 MB L3
+    // (above the ~0.5 MB fixed floor) near 130 warehouses — the pivot.
+    let metadata_bytes = scale((256 << 10) + 1_536 * w);
+    let processes_per_cpu = (config.workload.clients as usize)
+        .div_ceil(config.system.processors as usize)
+        .max(1);
+    TraceParams {
+        buffer_header_bytes,
+        metadata_bytes,
+        user_code_bytes: scale(1280 << 10),
+        stack_bytes: scale(48 << 10),
+        code_zipf_s: 1.55,
+        mix: DataMix {
+            stack: 0.62,
+            metadata: 0.16,
+            buffer_header: 0.18,
+            db: 0.04,
+        },
+        metadata_dwell: 6,
+        buffer_header_dwell: 6,
+        os_fraction: estimates.os_fraction.clamp(0.01, 0.9),
+        instrs_per_context_switch: estimates.instrs_per_context_switch,
+        processes_per_cpu: processes_per_cpu.min(32),
+        ..TraceParams::default()
+    }
+}
+
+/// Replays the transaction page-touch stream as cache-line references.
+///
+/// Each page touch yields a few distinct lines (block header, row slots),
+/// which the characterizer further dwells on; writes follow the touch
+/// kind, so hot shared blocks (district, warehouse) produce genuine
+/// cross-processor invalidation traffic.
+#[derive(Debug, Clone)]
+pub struct OdbRefSource {
+    sampler: TxnSampler,
+    touches: Vec<crate::txn::PageTouch>,
+    next_touch: usize,
+    lines_left: u32,
+    current_page: u64,
+    current_write: bool,
+    lines_per_touch: u32,
+    /// Probability that a write touch emits a written line. The
+    /// characterizer consumes transactions far faster than real time (it
+    /// samples only the database slice of the reference stream), which
+    /// would inflate the *rate* of stores to hot shared blocks — and with
+    /// it coherence traffic — by the same factor. Scaling write emission
+    /// back down restores the real store cadence while keeping the read
+    /// locality intact.
+    write_scale: f64,
+}
+
+impl OdbRefSource {
+    /// A source over `warehouses`, emitting `lines_per_touch` distinct
+    /// lines per page touch.
+    pub fn new(warehouses: u32, lines_per_touch: u32) -> Self {
+        Self::with_sampler(TxnSampler::new(PageMap::new(warehouses)), lines_per_touch)
+    }
+
+    /// A source sharing an existing sampler's Zipf tables — cheap to call
+    /// once per simulated process.
+    pub fn with_sampler(sampler: TxnSampler, lines_per_touch: u32) -> Self {
+        Self {
+            sampler,
+            touches: Vec::new(),
+            next_touch: 0,
+            lines_left: 0,
+            current_page: 0,
+            current_write: false,
+            lines_per_touch: lines_per_touch.max(1),
+            write_scale: 0.05,
+        }
+    }
+}
+
+impl DbRefSource for OdbRefSource {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> DbRef {
+        if self.lines_left == 0 {
+            if self.next_touch >= self.touches.len() {
+                let txn = self.sampler.sample(rng);
+                self.touches = txn.touches;
+                self.next_touch = 0;
+            }
+            let touch = self.touches[self.next_touch];
+            self.next_touch += 1;
+            self.current_page = touch.page;
+            self.current_write = touch.kind == crate::schema::TouchKind::Write;
+            self.lines_left = self.lines_per_touch;
+        }
+        self.lines_left -= 1;
+        let line = rng.gen_range(0..PAGE_BYTES / 64);
+        DbRef {
+            offset: self.current_page * PAGE_BYTES + line * 64,
+            write: self.current_write && rng.gen_bool(self.write_scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odb_core::config::{SystemConfig, WorkloadConfig};
+    use odb_core::metrics::{IoPerTxn, SpaceCounts};
+    use rand::SeedableRng;
+
+    fn config(w: u32, c: u32, p: u32) -> OltpConfig {
+        OltpConfig::new(
+            WorkloadConfig::new(w, c).unwrap(),
+            SystemConfig::xeon_quad().with_processors(p),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn warehouse_scaled_footprints() {
+        let est = WorkloadEstimates::initial();
+        let small = trace_params(&config(10, 10, 4), &est);
+        let large = trace_params(&config(800, 64, 4), &est);
+        assert!(large.metadata_bytes > small.metadata_bytes);
+        assert!(large.buffer_header_bytes > small.buffer_header_bytes);
+        // ~4 KB of control structures per added warehouse.
+        let delta = (large.metadata_bytes + large.buffer_header_bytes)
+            - (small.metadata_bytes + small.buffer_header_bytes);
+        assert_eq!(delta, 790 * (2_560 + 1_536));
+        small.validate().unwrap();
+        large.validate().unwrap();
+    }
+
+    #[test]
+    fn processes_per_cpu_follows_clients() {
+        let est = WorkloadEstimates::initial();
+        assert_eq!(trace_params(&config(100, 48, 4), &est).processes_per_cpu, 12);
+        assert_eq!(trace_params(&config(100, 10, 1), &est).processes_per_cpu, 10);
+        // Capped to keep characterization affordable.
+        assert_eq!(trace_params(&config(100, 64, 1), &est).processes_per_cpu, 32);
+    }
+
+    #[test]
+    fn estimates_refine_from_measurement() {
+        let m = Measurement {
+            warehouses: 500,
+            clients: 56,
+            processors: 4,
+            elapsed_seconds: 10.0,
+            transactions: 10_000,
+            user: SpaceCounts {
+                instructions: 10_000_000_000,
+                cycles: 40_000_000_000,
+                ..Default::default()
+            },
+            os: SpaceCounts {
+                instructions: 3_000_000_000,
+                cycles: 6_000_000_000,
+                ..Default::default()
+            },
+            cpu_utilization: 0.95,
+            os_busy_fraction: 0.15,
+            io_per_txn: IoPerTxn::default(),
+            disk_reads_per_txn: 3.0,
+            context_switches_per_txn: 8.0,
+            bus_utilization: 0.4,
+            bus_transaction_cycles: 140.0,
+        };
+        let est = WorkloadEstimates::from_measurement(&m);
+        assert!((est.os_fraction - 3.0 / 13.0).abs() < 1e-9);
+        // 1.3M instructions per txn / 8 switches per txn.
+        assert_eq!(est.instrs_per_context_switch, 162_500);
+    }
+
+    #[test]
+    fn estimates_clamp_degenerate_measurements() {
+        let mut m = Measurement {
+            warehouses: 10,
+            clients: 8,
+            processors: 1,
+            elapsed_seconds: 0.0,
+            transactions: 0,
+            user: SpaceCounts::default(),
+            os: SpaceCounts::default(),
+            cpu_utilization: 0.0,
+            os_busy_fraction: 0.0,
+            io_per_txn: IoPerTxn::default(),
+            disk_reads_per_txn: 0.0,
+            context_switches_per_txn: 0.0,
+            bus_utilization: 0.0,
+            bus_transaction_cycles: 102.0,
+        };
+        let est = WorkloadEstimates::from_measurement(&m);
+        assert_eq!(est.os_fraction, 0.10);
+        // All-OS pathological measurement clamps at 0.6.
+        m.os.instructions = 1_000;
+        m.transactions = 1;
+        let est = WorkloadEstimates::from_measurement(&m);
+        assert!(est.os_fraction <= 0.6);
+        assert!(est.instrs_per_context_switch >= 20_000);
+    }
+
+    #[test]
+    fn ref_source_emits_lines_within_touched_pages() {
+        let mut src = OdbRefSource::new(25, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let map = PageMap::new(25);
+        let mut pages = std::collections::HashSet::new();
+        let mut writes = 0u32;
+        for _ in 0..4_000 {
+            let r = src.next_ref(&mut rng);
+            let page = r.offset / PAGE_BYTES;
+            assert!(page < map.total_pages(), "page {page} in range");
+            pages.insert(page);
+            if r.write {
+                writes += 1;
+            }
+        }
+        assert!(pages.len() > 50, "page diversity: {}", pages.len());
+        // Writes are scaled down to the real store cadence (write_scale),
+        // so only a few percent of refs write — but some must.
+        assert!(writes > 20, "write touches propagate: {writes}");
+        assert!(writes < 600, "write cadence stays scaled: {writes}");
+    }
+
+    #[test]
+    fn ref_source_groups_lines_per_touch() {
+        let mut src = OdbRefSource::new(5, 4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Consecutive refs come in groups of 4 on the same page.
+        let mut last_page = u64::MAX;
+        let mut run = 0;
+        let mut runs = Vec::new();
+        for _ in 0..400 {
+            let r = src.next_ref(&mut rng);
+            let page = r.offset / PAGE_BYTES;
+            if page == last_page {
+                run += 1;
+            } else {
+                if run > 0 {
+                    runs.push(run);
+                }
+                run = 1;
+                last_page = page;
+            }
+        }
+        // Mean run length ≥ lines_per_touch implies grouping works
+        // (adjacent touches can hit the same page, making runs longer).
+        let mean: f64 = runs.iter().sum::<i32>() as f64 / runs.len() as f64;
+        assert!(mean >= 3.5, "mean page run {mean}");
+    }
+}

@@ -1,0 +1,783 @@
+//! Transaction types, mix and per-type execution profiles.
+//!
+//! ODB's transactions are the classic order-entry five (§3.1): entering
+//! and delivering orders, recording payments, checking order status and
+//! inventory levels. For the paper's metrics, what matters about a
+//! transaction is (a) how many user instructions it runs, (b) which pages
+//! it touches and whether it dirties them, (c) which hot blocks it
+//! serializes on, and (d) how much redo it generates. [`TxnSampler`]
+//! produces concrete [`Transaction`] instances with those four properties.
+
+use crate::schema::{PageId, PageMap, Table, TouchKind, CUSTOMERS_PER_DISTRICT, ITEMS};
+use odb_memsim::dist::Zipf;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The five ODB transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnType {
+    /// Enter a customer order (≈45% of the mix).
+    NewOrder,
+    /// Record a payment (≈43%).
+    Payment,
+    /// Check the status of a previous order (4%).
+    OrderStatus,
+    /// Deliver a batch of pending orders (4%).
+    Delivery,
+    /// Check inventory levels at a warehouse (4%).
+    StockLevel,
+}
+
+impl TxnType {
+    /// All types, in mix order.
+    pub const ALL: [TxnType; 5] = [
+        TxnType::NewOrder,
+        TxnType::Payment,
+        TxnType::OrderStatus,
+        TxnType::Delivery,
+        TxnType::StockLevel,
+    ];
+
+    /// The share of this type in the transaction mix (sums to 1).
+    pub fn mix(&self) -> f64 {
+        match self {
+            TxnType::NewOrder => 0.45,
+            TxnType::Payment => 0.43,
+            TxnType::OrderStatus => 0.04,
+            TxnType::Delivery => 0.04,
+            TxnType::StockLevel => 0.04,
+        }
+    }
+
+    /// Mean user-space instructions for one execution.
+    pub fn user_instructions(&self) -> u64 {
+        match self {
+            TxnType::NewOrder => 1_400_000,
+            TxnType::Payment => 700_000,
+            TxnType::OrderStatus => 500_000,
+            TxnType::Delivery => 1_800_000,
+            TxnType::StockLevel => 1_200_000,
+        }
+    }
+
+    /// Redo-log bytes generated (read-only types write a commit marker).
+    pub fn log_bytes(&self) -> u64 {
+        match self {
+            TxnType::NewOrder => 8 << 10,
+            TxnType::Payment => 3 << 10,
+            TxnType::OrderStatus => 256,
+            TxnType::Delivery => 10 << 10,
+            TxnType::StockLevel => 128,
+        }
+    }
+
+    /// Draws a type according to the paper's standard mix.
+    pub fn sample(rng: &mut SmallRng) -> TxnType {
+        TxnMix::paper().sample(rng)
+    }
+}
+
+/// A transaction mix: the probability of each type.
+///
+/// The iron law makes the mix a first-order performance lever: it sets
+/// the average IPX directly (a read-heavy mix runs lighter transactions)
+/// and shifts the redo volume and lock pressure. [`TxnMix::paper`] is the
+/// order-entry mix of §3.1; the alternates support mix-sensitivity
+/// studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxnMix {
+    weights: [f64; 5],
+}
+
+impl TxnMix {
+    /// The paper's standard order-entry mix (45/43/4/4/4).
+    pub fn paper() -> Self {
+        Self {
+            weights: [0.45, 0.43, 0.04, 0.04, 0.04],
+        }
+    }
+
+    /// A reporting-leaning mix: reads dominate (order status and stock
+    /// checks), updates are rare.
+    pub fn read_heavy() -> Self {
+        Self {
+            weights: [0.10, 0.10, 0.40, 0.05, 0.35],
+        }
+    }
+
+    /// An ingest-leaning mix: almost all new orders and payments.
+    pub fn write_heavy() -> Self {
+        Self {
+            weights: [0.55, 0.41, 0.01, 0.02, 0.01],
+        }
+    }
+
+    /// A custom mix in [`TxnType::ALL`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] unless the weights are
+    /// non-negative, finite and sum to 1 (within 1e-6).
+    pub fn new(weights: [f64; 5]) -> Result<Self, odb_core::Error> {
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "weights",
+                reason: "weights must be finite and non-negative".to_owned(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "weights",
+                reason: format!("weights sum to {total}, expected 1.0"),
+            });
+        }
+        Ok(Self { weights })
+    }
+
+    /// The weight of one type.
+    pub fn weight(&self, ty: TxnType) -> f64 {
+        let idx = TxnType::ALL.iter().position(|t| *t == ty).expect("in ALL");
+        self.weights[idx]
+    }
+
+    /// Draws a type.
+    pub fn sample(&self, rng: &mut SmallRng) -> TxnType {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (ty, w) in TxnType::ALL.iter().zip(self.weights) {
+            acc += w;
+            if u < acc {
+                return *ty;
+            }
+        }
+        *TxnType::ALL.last().expect("nonempty")
+    }
+
+    /// Mean user instructions per transaction under this mix.
+    pub fn mean_user_instructions(&self) -> f64 {
+        TxnType::ALL
+            .iter()
+            .zip(self.weights)
+            .map(|(t, w)| w * t.user_instructions() as f64)
+            .sum()
+    }
+
+    /// Mean redo bytes per transaction under this mix.
+    pub fn mean_log_bytes(&self) -> f64 {
+        TxnType::ALL
+            .iter()
+            .zip(self.weights)
+            .map(|(t, w)| w * t.log_bytes() as f64)
+            .sum()
+    }
+}
+
+impl Default for TxnMix {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The hot blocks a transaction must serialize on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockTarget {
+    /// The block holding all ten district rows of a warehouse; new-order
+    /// takes it to advance the order sequence, payment to post district
+    /// totals. At 10 warehouses there are only ten such blocks in the
+    /// whole database — the contention mechanism behind Fig 8's spike.
+    DistrictBlock(u32),
+    /// The block holding a warehouse row; payment updates warehouse
+    /// year-to-date totals.
+    WarehouseBlock(u32),
+}
+
+/// One page access in a transaction's execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTouch {
+    /// The page accessed.
+    pub page: PageId,
+    /// Read or write.
+    pub kind: TouchKind,
+    /// `true` for inserts into fresh tail blocks of the ring tables:
+    /// write-allocate without a read from disk (the block's old contents
+    /// are dead).
+    pub insert: bool,
+}
+
+/// A fully materialized transaction, ready for the DES to execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The transaction's type.
+    pub ty: TxnType,
+    /// Home warehouse.
+    pub warehouse: u32,
+    /// Pages touched, in execution order.
+    pub touches: Vec<PageTouch>,
+    /// User instructions this execution will retire.
+    pub user_instructions: u64,
+    /// Redo bytes generated at commit.
+    pub log_bytes: u64,
+    /// Locks to take, acquired when execution reaches
+    /// `lock_acquire_index` into `touches` and held until after commit.
+    pub locks: Vec<LockTarget>,
+    /// Touch index at which the locks are acquired.
+    pub lock_acquire_index: usize,
+}
+
+impl Transaction {
+    /// Pages this transaction writes (dirty page count).
+    pub fn dirty_pages(&self) -> usize {
+        let mut dirtied: Vec<PageId> = self
+            .touches
+            .iter()
+            .filter(|t| t.kind == TouchKind::Write)
+            .map(|t| t.page)
+            .collect();
+        dirtied.sort_unstable();
+        dirtied.dedup();
+        dirtied.len()
+    }
+}
+
+/// Interior B-tree pages per warehouse that probes actually touch: the
+/// root and branch levels stay hot; leaf-page misses are folded into the
+/// row-page touches they lead to.
+const INDEX_INTERIOR_SLOTS: u64 = 64;
+
+/// Per-warehouse insert sequences (order numbers, history records).
+#[derive(Debug, Clone, Default)]
+struct WarehouseSequences {
+    orders: u64,
+    history: u64,
+}
+
+/// Materializes transactions against a [`PageMap`].
+///
+/// Row selection is skewed — customers, items and stock follow Zipf
+/// distributions, matching real order-entry behaviour where popular items
+/// and recent customers dominate. Index probes hit the per-warehouse
+/// index extent with interior-node skew.
+#[derive(Debug, Clone)]
+pub struct TxnSampler {
+    map: PageMap,
+    mix: TxnMix,
+    // Zipf CDF tables are large (the item table's is ~800 KB); sharing
+    // them makes cloning a sampler per simulated process cheap.
+    customer: std::sync::Arc<Zipf>,
+    item: std::sync::Arc<Zipf>,
+    index: std::sync::Arc<Zipf>,
+    sequences: Vec<WarehouseSequences>,
+    /// Fraction of payments made through a remote warehouse (TPC-C-like
+    /// cross-warehouse sharing; disabled for a single warehouse).
+    remote_payment_frac: f64,
+}
+
+impl TxnSampler {
+    /// A sampler over the given page map with the paper's standard mix.
+    pub fn new(map: PageMap) -> Self {
+        Self::with_mix(map, TxnMix::paper())
+    }
+
+    /// A sampler with a custom transaction mix.
+    pub fn with_mix(map: PageMap, mix: TxnMix) -> Self {
+        Self {
+            map,
+            mix,
+            customer: std::sync::Arc::new(Zipf::new(CUSTOMERS_PER_DISTRICT * 10, 1.0)),
+            item: std::sync::Arc::new(Zipf::new(ITEMS, 1.09)),
+            index: std::sync::Arc::new(Zipf::new(INDEX_INTERIOR_SLOTS, 1.1)),
+            sequences: vec![WarehouseSequences::default(); map.warehouses() as usize],
+            remote_payment_frac: if map.warehouses() > 1 { 0.15 } else { 0.0 },
+        }
+    }
+
+    /// The underlying page map.
+    pub fn map(&self) -> &PageMap {
+        &self.map
+    }
+
+    /// Samples one transaction with a uniformly chosen home warehouse.
+    pub fn sample(&mut self, rng: &mut SmallRng) -> Transaction {
+        let warehouse = rng.gen_range(0..self.map.warehouses());
+        let ty = self.mix.sample(rng);
+        self.sample_of_type(ty, warehouse, rng)
+    }
+
+    /// The mix in force.
+    pub fn mix(&self) -> TxnMix {
+        self.mix
+    }
+
+    /// Samples a transaction of a specific type at a specific warehouse.
+    pub fn sample_of_type(
+        &mut self,
+        ty: TxnType,
+        warehouse: u32,
+        rng: &mut SmallRng,
+    ) -> Transaction {
+        let mut touches = Vec::with_capacity(48);
+        let mut locks = Vec::new();
+        let mut lock_acquire_index = 0;
+        match ty {
+            TxnType::NewOrder => {
+                // Read the customer placing the order.
+                self.probe(&mut touches, warehouse, rng);
+                self.customer_touch(&mut touches, warehouse, TouchKind::Read, rng);
+                // Take the district sequence: the hot-block lock point.
+                lock_acquire_index = touches.len();
+                locks.push(LockTarget::DistrictBlock(warehouse));
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::District, warehouse, 0),
+                    kind: TouchKind::Write,
+                    insert: false,
+                });
+                // Ten order lines: item lookup (global) + stock update.
+                for _ in 0..10 {
+                    let item = self.item.sample(rng);
+                    touches.push(PageTouch {
+                        page: self.map.item_page(item),
+                        kind: TouchKind::Read,
+                        insert: false,
+                    });
+                    self.probe(&mut touches, warehouse, rng);
+                    touches.push(PageTouch {
+                        page: self.map.row_page(Table::Stock, warehouse, item),
+                        kind: TouchKind::Write,
+                        insert: false,
+                    });
+                }
+                // Insert the order header, its lines and the queue entry.
+                let seq = self.next_order_seq(warehouse);
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::Orders, warehouse, seq),
+                    kind: TouchKind::Write,
+                    insert: true,
+                });
+                for line in 0..10 {
+                    let page = self
+                        .map
+                        .row_page(Table::OrderLine, warehouse, seq * 10 + line);
+                    if touches.last().map(|t| t.page) != Some(page) {
+                        touches.push(PageTouch {
+                            page,
+                            kind: TouchKind::Write,
+                            insert: true,
+                        });
+                    }
+                }
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::NewOrder, warehouse, seq),
+                    kind: TouchKind::Write,
+                    insert: true,
+                });
+            }
+            TxnType::Payment => {
+                lock_acquire_index = 0;
+                locks.push(LockTarget::WarehouseBlock(warehouse));
+                locks.push(LockTarget::DistrictBlock(warehouse));
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::Warehouse, warehouse, 0),
+                    kind: TouchKind::Write,
+                    insert: false,
+                });
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::District, warehouse, 0),
+                    kind: TouchKind::Write,
+                    insert: false,
+                });
+                // The paying customer, sometimes of a remote warehouse.
+                let cust_wh = if rng.gen_bool(self.remote_payment_frac) {
+                    rng.gen_range(0..self.map.warehouses())
+                } else {
+                    warehouse
+                };
+                self.probe(&mut touches, cust_wh, rng);
+                self.customer_touch(&mut touches, cust_wh, TouchKind::Write, rng);
+                let hseq = self.next_history_seq(warehouse);
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::History, warehouse, hseq),
+                    kind: TouchKind::Write,
+                    insert: true,
+                });
+            }
+            TxnType::OrderStatus => {
+                self.probe(&mut touches, warehouse, rng);
+                self.customer_touch(&mut touches, warehouse, TouchKind::Read, rng);
+                // Find the customer's most recent order and its lines.
+                let seq = self.recent_order_seq(warehouse, rng);
+                self.probe(&mut touches, warehouse, rng);
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::Orders, warehouse, seq),
+                    kind: TouchKind::Read,
+                    insert: false,
+                });
+                for line in [0u64, 5] {
+                    touches.push(PageTouch {
+                        page: self
+                            .map
+                            .row_page(Table::OrderLine, warehouse, seq * 10 + line),
+                        kind: TouchKind::Read,
+                        insert: false,
+                    });
+                }
+            }
+            TxnType::Delivery => {
+                // Delivery batch-processes every district of the
+                // warehouse, serializing on the district block for its
+                // whole run — a strong contributor to small-W contention.
+                lock_acquire_index = 0;
+                locks.push(LockTarget::DistrictBlock(warehouse));
+                for _district in 0..10u64 {
+                    let seq = self.recent_order_seq(warehouse, rng);
+                    touches.push(PageTouch {
+                        page: self.map.row_page(Table::NewOrder, warehouse, seq),
+                        kind: TouchKind::Write,
+                        insert: false,
+                    });
+                    touches.push(PageTouch {
+                        page: self.map.row_page(Table::Orders, warehouse, seq),
+                        kind: TouchKind::Write,
+                        insert: false,
+                    });
+                    touches.push(PageTouch {
+                        page: self
+                            .map
+                            .row_page(Table::OrderLine, warehouse, seq * 10 + 2),
+                        kind: TouchKind::Write,
+                        insert: false,
+                    });
+                    self.customer_touch(&mut touches, warehouse, TouchKind::Write, rng);
+                }
+            }
+            TxnType::StockLevel => {
+                touches.push(PageTouch {
+                    page: self.map.row_page(Table::District, warehouse, 0),
+                    kind: TouchKind::Read,
+                    insert: false,
+                });
+                // Recent order lines, then the stock rows they name.
+                let seq = self.recent_order_seq(warehouse, rng);
+                for k in 0..4u64 {
+                    touches.push(PageTouch {
+                        page: self
+                            .map
+                            .row_page(Table::OrderLine, warehouse, (seq + k) * 10),
+                        kind: TouchKind::Read,
+                        insert: false,
+                    });
+                }
+                for _ in 0..20 {
+                    let item = self.item.sample(rng);
+                    self.probe(&mut touches, warehouse, rng);
+                    touches.push(PageTouch {
+                        page: self.map.row_page(Table::Stock, warehouse, item),
+                        kind: TouchKind::Read,
+                        insert: false,
+                    });
+                }
+            }
+        }
+        let jitter = 0.9 + 0.2 * rng.gen::<f64>();
+        Transaction {
+            ty,
+            warehouse,
+            user_instructions: (ty.user_instructions() as f64 * jitter) as u64,
+            log_bytes: ty.log_bytes(),
+            touches,
+            locks,
+            lock_acquire_index,
+        }
+    }
+
+    /// One B-tree probe: a touch on the (interior-skewed) index extent.
+    fn probe(&mut self, touches: &mut Vec<PageTouch>, warehouse: u32, rng: &mut SmallRng) {
+        let slot = self.index.sample(rng);
+        touches.push(PageTouch {
+            page: self.map.index_page(warehouse, slot),
+            kind: TouchKind::Read,
+            insert: false,
+        });
+    }
+
+    /// A customer-row touch at a Zipf-selected customer.
+    fn customer_touch(
+        &mut self,
+        touches: &mut Vec<PageTouch>,
+        warehouse: u32,
+        kind: TouchKind,
+        rng: &mut SmallRng,
+    ) {
+        let row = self.customer.sample(rng);
+        touches.push(PageTouch {
+            page: self.map.row_page(Table::Customer, warehouse, row),
+            kind,
+            insert: false,
+        });
+    }
+
+    fn next_order_seq(&mut self, warehouse: u32) -> u64 {
+        let seq = &mut self.sequences[warehouse as usize].orders;
+        *seq += 1;
+        *seq
+    }
+
+    fn next_history_seq(&mut self, warehouse: u32) -> u64 {
+        let seq = &mut self.sequences[warehouse as usize].history;
+        *seq += 1;
+        *seq
+    }
+
+    /// A recently inserted order's sequence number.
+    fn recent_order_seq(&mut self, warehouse: u32, rng: &mut SmallRng) -> u64 {
+        let head = self.sequences[warehouse as usize].orders;
+        head.saturating_sub(rng.gen_range(0..20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sampler(w: u32) -> TxnSampler {
+        TxnSampler::new(PageMap::new(w))
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn txn_mix_presets_and_validation() {
+        for mix in [TxnMix::paper(), TxnMix::read_heavy(), TxnMix::write_heavy()] {
+            let total: f64 = TxnType::ALL.iter().map(|t| mix.weight(*t)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(TxnMix::default(), TxnMix::paper());
+        // Read-heavy mixes run lighter transactions and log less.
+        assert!(
+            TxnMix::read_heavy().mean_user_instructions()
+                < TxnMix::paper().mean_user_instructions()
+        );
+        assert!(TxnMix::read_heavy().mean_log_bytes() < TxnMix::paper().mean_log_bytes());
+        assert!(TxnMix::write_heavy().mean_log_bytes() > TxnMix::paper().mean_log_bytes());
+        // Validation.
+        assert!(TxnMix::new([0.2, 0.2, 0.2, 0.2, 0.2]).is_ok());
+        assert!(TxnMix::new([0.5, 0.5, 0.5, 0.0, 0.0]).is_err());
+        assert!(TxnMix::new([-0.1, 0.5, 0.3, 0.2, 0.1]).is_err());
+        assert!(TxnMix::new([f64::NAN, 0.5, 0.3, 0.1, 0.1]).is_err());
+    }
+
+    #[test]
+    fn custom_mix_drives_sampling() {
+        let mix = TxnMix::new([0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let mut s = TxnSampler::with_mix(PageMap::new(5), mix);
+        assert_eq!(s.mix(), mix);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r).ty, TxnType::OrderStatus);
+        }
+    }
+
+    #[test]
+    fn mix_sums_to_one_and_sampling_respects_it() {
+        let total: f64 = TxnType::ALL.iter().map(|t| t.mix()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mut r = rng();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(TxnType::sample(&mut r)).or_insert(0u32) += 1;
+        }
+        for ty in TxnType::ALL {
+            let observed = counts[&ty] as f64 / 20_000.0;
+            assert!(
+                (observed - ty.mix()).abs() < 0.02,
+                "{ty:?}: {observed} vs {}",
+                ty.mix()
+            );
+        }
+    }
+
+    #[test]
+    fn average_user_instructions_and_log_near_paper() {
+        let mean_instr: f64 = TxnType::ALL
+            .iter()
+            .map(|t| t.mix() * t.user_instructions() as f64)
+            .sum();
+        assert!(
+            (1.0e6..1.3e6).contains(&mean_instr),
+            "user IPX {mean_instr}"
+        );
+        // The paper reports ~6 KB of log per transaction on average.
+        let mean_log: f64 = TxnType::ALL
+            .iter()
+            .map(|t| t.mix() * t.log_bytes() as f64)
+            .sum();
+        assert!(
+            (5.0e3..7.0e3).contains(&mean_log),
+            "log bytes {mean_log}"
+        );
+    }
+
+    #[test]
+    fn new_order_locks_district_and_writes_stock() {
+        let mut s = sampler(10);
+        let mut r = rng();
+        let t = s.sample_of_type(TxnType::NewOrder, 3, &mut r);
+        assert_eq!(t.locks, vec![LockTarget::DistrictBlock(3)]);
+        assert!(t.lock_acquire_index > 0, "reads precede the lock");
+        assert!(t.lock_acquire_index < t.touches.len());
+        let writes = t
+            .touches
+            .iter()
+            .filter(|x| x.kind == TouchKind::Write)
+            .count();
+        assert!(writes >= 12, "district + 10 stock + inserts: {writes}");
+        assert!(t.touches.len() >= 25, "touches {}", t.touches.len());
+        assert!(t.dirty_pages() >= 10);
+    }
+
+    #[test]
+    fn payment_locks_warehouse_and_district_immediately() {
+        let mut s = sampler(10);
+        let mut r = rng();
+        let t = s.sample_of_type(TxnType::Payment, 7, &mut r);
+        assert!(t.locks.contains(&LockTarget::WarehouseBlock(7)));
+        assert!(t.locks.contains(&LockTarget::DistrictBlock(7)));
+        assert_eq!(t.lock_acquire_index, 0);
+        assert!(t.touches.len() >= 5);
+    }
+
+    #[test]
+    fn read_only_types_take_no_locks() {
+        let mut s = sampler(10);
+        let mut r = rng();
+        for ty in [TxnType::OrderStatus, TxnType::StockLevel] {
+            let t = s.sample_of_type(ty, 0, &mut r);
+            assert!(t.locks.is_empty(), "{ty:?} is lock-free");
+            assert!(t
+                .touches
+                .iter()
+                .all(|touch| touch.kind == TouchKind::Read));
+            assert_eq!(t.dirty_pages(), 0);
+        }
+    }
+
+    #[test]
+    fn delivery_touches_many_pages_across_districts() {
+        let mut s = sampler(5);
+        let mut r = rng();
+        let t = s.sample_of_type(TxnType::Delivery, 2, &mut r);
+        assert!(t.touches.len() >= 35, "{}", t.touches.len());
+        assert!(t.dirty_pages() >= 10);
+    }
+
+    #[test]
+    fn touches_stay_inside_the_database() {
+        let mut s = sampler(25);
+        let mut r = rng();
+        let total = s.map().total_pages();
+        for _ in 0..500 {
+            let t = s.sample(&mut r);
+            for touch in &t.touches {
+                assert!(touch.page < total, "page {} out of range", touch.page);
+            }
+            assert!(t.warehouse < 25);
+        }
+    }
+
+    #[test]
+    fn order_sequences_advance_per_warehouse() {
+        let mut s = sampler(3);
+        let mut r = rng();
+        let t1 = s.sample_of_type(TxnType::NewOrder, 1, &mut r);
+        let t2 = s.sample_of_type(TxnType::NewOrder, 1, &mut r);
+        // Subsequent orders land on the same or the next ring page.
+        let p1 = t1.touches.iter().rev().nth(1).unwrap().page;
+        let p2 = t2.touches.iter().rev().nth(1).unwrap().page;
+        assert!(p2 == p1 || p2 == p1 + 1 || p2 < p1 /* ring wrap */);
+    }
+
+    #[test]
+    fn single_warehouse_never_pays_remotely() {
+        let mut s = sampler(1);
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = s.sample_of_type(TxnType::Payment, 0, &mut r);
+            assert!(t.touches.iter().all(|x| x.page < s.map().total_pages()));
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::SeedableRng;
+
+        proptest! {
+            /// Sampled transactions are always well-formed: in-range
+            /// pages, valid lock index, positive instruction budget, and
+            /// locks only on the hot blocks of real warehouses.
+            #[test]
+            fn sampled_transactions_are_well_formed(
+                warehouses in 1u32..600,
+                seed in 0u64..1_000,
+            ) {
+                let mut s = TxnSampler::new(PageMap::new(warehouses));
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let total = s.map().total_pages();
+                for _ in 0..10 {
+                    let t = s.sample(&mut rng);
+                    prop_assert!(t.warehouse < warehouses);
+                    prop_assert!(!t.touches.is_empty());
+                    prop_assert!(t.lock_acquire_index <= t.touches.len());
+                    prop_assert!(t.user_instructions > 100_000);
+                    for touch in &t.touches {
+                        prop_assert!(touch.page < total);
+                    }
+                    for lock in &t.locks {
+                        let w = match lock {
+                            LockTarget::DistrictBlock(w)
+                            | LockTarget::WarehouseBlock(w) => *w,
+                        };
+                        prop_assert!(w < warehouses);
+                    }
+                    // Insert touches are writes by definition.
+                    prop_assert!(t
+                        .touches
+                        .iter()
+                        .filter(|x| x.insert)
+                        .all(|x| x.kind == TouchKind::Write));
+                }
+            }
+
+            /// dirty_pages() is consistent with the touch list.
+            #[test]
+            fn dirty_page_count_matches_touches(seed in 0u64..500) {
+                let mut s = TxnSampler::new(PageMap::new(20));
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let t = s.sample(&mut rng);
+                let writes: std::collections::HashSet<u64> = t
+                    .touches
+                    .iter()
+                    .filter(|x| x.kind == TouchKind::Write)
+                    .map(|x| x.page)
+                    .collect();
+                prop_assert_eq!(t.dirty_pages(), writes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_jitter_is_bounded() {
+        let mut s = sampler(2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = s.sample_of_type(TxnType::NewOrder, 0, &mut r);
+            let base = TxnType::NewOrder.user_instructions() as f64;
+            let ratio = t.user_instructions as f64 / base;
+            assert!((0.9..=1.1).contains(&ratio));
+        }
+    }
+}

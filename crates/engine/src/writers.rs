@@ -1,0 +1,293 @@
+//! The background writer processes: log writer and database writer.
+//!
+//! "Two background processes of note are the database writer and the log
+//! writer. The database writer searches the pool of database blocks that
+//! are cached in the main memory and writes modified blocks back to disk.
+//! The log writer process records to disk all changes made to the
+//! database" (§3.1).
+//!
+//! Both are modelled as pure state machines the DES drives:
+//!
+//! * [`LogWriter`] implements **group commit**: committing transactions
+//!   park on the current batch; a flush gathers the batch into one
+//!   sequential log write (≈6 KB of redo per transaction on average,
+//!   independent of `W` and `P` — §4.3), and its completion wakes every
+//!   parked committer.
+//! * [`DbWriter`] drains dirty pages evicted by the buffer cache with a
+//!   bounded number of in-flight writes, so page writeback is
+//!   asynchronous and "typically non-critical", as §4.3 notes.
+
+use crate::schema::PageId;
+use odb_ossim::ProcessId;
+use std::collections::VecDeque;
+
+/// Group-commit state machine.
+#[derive(Debug, Default)]
+pub struct LogWriter {
+    /// Committers parked on the batch currently being collected.
+    batch: Vec<ProcessId>,
+    batch_bytes: u64,
+    /// Committers riding the flush that is on disk right now.
+    in_flight: Vec<ProcessId>,
+    flushing: bool,
+    /// Total log bytes flushed.
+    bytes_flushed: u64,
+    /// Number of flush I/Os issued.
+    flushes: u64,
+}
+
+/// What the engine must do after a commit request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitAction {
+    /// A flush should be started now (the caller opens the batch and
+    /// there is no flush in flight).
+    StartFlush,
+    /// A flush is already in flight; the new batch will be flushed when
+    /// it completes. Nothing to schedule.
+    Wait,
+}
+
+impl LogWriter {
+    /// An idle log writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `pid` on the current batch with `bytes` of redo. Returns
+    /// [`CommitAction::StartFlush`] when the caller should begin a flush
+    /// immediately.
+    pub fn commit_request(&mut self, pid: ProcessId, bytes: u64) -> CommitAction {
+        self.batch.push(pid);
+        self.batch_bytes += bytes;
+        if self.flushing {
+            CommitAction::Wait
+        } else {
+            CommitAction::StartFlush
+        }
+    }
+
+    /// Begins flushing the collected batch; returns the bytes to write.
+    /// The engine submits a `LogWrite` I/O of this size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flush is already in flight or the batch is empty.
+    pub fn begin_flush(&mut self) -> u64 {
+        assert!(!self.flushing, "one flush at a time");
+        assert!(!self.batch.is_empty(), "flush without committers");
+        self.flushing = true;
+        self.in_flight = std::mem::take(&mut self.batch);
+        let bytes = std::mem::take(&mut self.batch_bytes);
+        self.flushes += 1;
+        self.bytes_flushed += bytes;
+        bytes
+    }
+
+    /// Completes the in-flight flush: returns the committers to wake and
+    /// whether another flush should start immediately (a batch formed
+    /// while the disk was busy).
+    pub fn flush_complete(&mut self) -> (Vec<ProcessId>, bool) {
+        assert!(self.flushing, "no flush in flight");
+        self.flushing = false;
+        let woken = std::mem::take(&mut self.in_flight);
+        (woken, !self.batch.is_empty())
+    }
+
+    /// `true` while a flush I/O is on disk.
+    pub fn is_flushing(&self) -> bool {
+        self.flushing
+    }
+
+    /// Committers parked on the forming batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Total bytes flushed so far.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes_flushed
+    }
+
+    /// Flush I/Os issued so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Resets counters; parked committers are untouched.
+    pub fn reset_stats(&mut self) {
+        self.bytes_flushed = 0;
+        self.flushes = 0;
+    }
+}
+
+/// Asynchronous dirty-page writeback with bounded concurrency.
+#[derive(Debug)]
+pub struct DbWriter {
+    queue: VecDeque<PageId>,
+    in_flight: usize,
+    max_in_flight: usize,
+    pages_written: u64,
+    /// High-water mark of the pending queue (diagnostic).
+    max_queue: usize,
+}
+
+impl DbWriter {
+    /// A writer allowing `max_in_flight` concurrent page writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_flight` is zero.
+    pub fn new(max_in_flight: usize) -> Self {
+        assert!(max_in_flight > 0, "need at least one write slot");
+        Self {
+            queue: VecDeque::new(),
+            in_flight: 0,
+            max_in_flight,
+            pages_written: 0,
+            max_queue: 0,
+        }
+    }
+
+    /// Queues a dirty page; returns the page to submit now if a write
+    /// slot is free.
+    pub fn enqueue(&mut self, page: PageId) -> Option<PageId> {
+        self.queue.push_back(page);
+        self.max_queue = self.max_queue.max(self.queue.len());
+        self.try_issue()
+    }
+
+    /// Marks one write complete; returns the next page to submit, if any.
+    pub fn write_complete(&mut self) -> Option<PageId> {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        self.pages_written += 1;
+        self.try_issue()
+    }
+
+    fn try_issue(&mut self) -> Option<PageId> {
+        if self.in_flight < self.max_in_flight {
+            if let Some(page) = self.queue.pop_front() {
+                self.in_flight += 1;
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    /// Pages whose writes have completed.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+
+    /// Writes currently on disk.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Pages queued but not yet issued.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Resets the written counter; queue state is untouched.
+    pub fn reset_stats(&mut self) {
+        self.pages_written = 0;
+        self.max_queue = self.queue.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn single_commit_flushes_immediately() {
+        let mut lw = LogWriter::new();
+        assert_eq!(lw.commit_request(pid(1), 6_000), CommitAction::StartFlush);
+        assert_eq!(lw.begin_flush(), 6_000);
+        assert!(lw.is_flushing());
+        let (woken, more) = lw.flush_complete();
+        assert_eq!(woken, vec![pid(1)]);
+        assert!(!more);
+        assert_eq!(lw.flushes(), 1);
+        assert_eq!(lw.bytes_flushed(), 6_000);
+    }
+
+    #[test]
+    fn group_commit_batches_while_disk_busy() {
+        let mut lw = LogWriter::new();
+        assert_eq!(lw.commit_request(pid(1), 8_000), CommitAction::StartFlush);
+        lw.begin_flush();
+        // Two more commits arrive while the flush is on disk.
+        assert_eq!(lw.commit_request(pid(2), 3_000), CommitAction::Wait);
+        assert_eq!(lw.commit_request(pid(3), 8_000), CommitAction::Wait);
+        assert_eq!(lw.batch_len(), 2);
+        let (woken, more) = lw.flush_complete();
+        assert_eq!(woken, vec![pid(1)]);
+        assert!(more, "a second flush must start for the batch");
+        let bytes = lw.begin_flush();
+        assert_eq!(bytes, 11_000, "the batch is one grouped write");
+        let (woken2, more2) = lw.flush_complete();
+        assert_eq!(woken2, vec![pid(2), pid(3)]);
+        assert!(!more2);
+        assert_eq!(lw.flushes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flush at a time")]
+    fn double_flush_panics() {
+        let mut lw = LogWriter::new();
+        lw.commit_request(pid(1), 100);
+        lw.begin_flush();
+        lw.commit_request(pid(2), 100);
+        lw.begin_flush();
+    }
+
+    #[test]
+    #[should_panic(expected = "flush without committers")]
+    fn empty_flush_panics() {
+        let mut lw = LogWriter::new();
+        lw.begin_flush();
+    }
+
+    #[test]
+    fn dbwriter_bounds_in_flight() {
+        let mut dw = DbWriter::new(2);
+        assert_eq!(dw.enqueue(10), Some(10));
+        assert_eq!(dw.enqueue(11), Some(11));
+        assert_eq!(dw.enqueue(12), None, "third write waits");
+        assert_eq!(dw.in_flight(), 2);
+        assert_eq!(dw.backlog(), 1);
+        assert_eq!(dw.write_complete(), Some(12));
+        assert_eq!(dw.write_complete(), None);
+        assert_eq!(dw.write_complete(), None);
+        assert_eq!(dw.pages_written(), 3);
+        assert_eq!(dw.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one write slot")]
+    fn zero_slots_panics() {
+        let _ = DbWriter::new(0);
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut lw = LogWriter::new();
+        lw.commit_request(pid(1), 500);
+        lw.begin_flush();
+        lw.flush_complete();
+        lw.reset_stats();
+        assert_eq!(lw.flushes(), 0);
+        assert_eq!(lw.bytes_flushed(), 0);
+        let mut dw = DbWriter::new(1);
+        dw.enqueue(1);
+        dw.write_complete();
+        dw.reset_stats();
+        assert_eq!(dw.pages_written(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Terminal line charts for the figure series.
+//!
+//! The paper's artifacts are figures; a table of numbers hides the very
+//! shapes (knees, saturation, divergence with `P`) the reproduction is
+//! about. [`ascii_chart`] renders labelled series on a character canvas
+//! so `odb-experiments` output shows the curves directly.
+
+use odb_core::series::Series;
+use std::fmt::Write as _;
+
+/// Rendering options for [`ascii_chart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChartOptions {
+    /// Plot-area width in characters (excluding the y-axis gutter).
+    pub width: usize,
+    /// Plot-area height in rows.
+    pub height: usize,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            height: 16,
+        }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+/// Renders one or more series as an ASCII line chart with a legend.
+///
+/// Points are plotted at their `(x, y)` positions on a linear canvas;
+/// overlapping points show the later series' marker. Empty input or
+/// degenerate ranges produce a short placeholder instead of panicking.
+///
+/// ```
+/// use odb_core::series::Series;
+/// use odb_experiments::chart::{ascii_chart, ChartOptions};
+///
+/// let s = Series::from_xy("4P", [10.0, 100.0, 800.0], [2.8, 3.8, 4.9]);
+/// let chart = ascii_chart("CPI vs warehouses", &[s], ChartOptions::default());
+/// assert!(chart.contains("CPI vs warehouses"));
+/// assert!(chart.contains("o 4P"));
+/// ```
+pub fn ascii_chart(title: &str, series: &[Series], options: ChartOptions) -> String {
+    let width = options.width.max(8);
+    let height = options.height.max(4);
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points().iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    // Give flat data a visible band and anchor near-zero minima at zero.
+    if (max_y - min_y).abs() < f64::EPSILON {
+        max_y += 1.0;
+        min_y -= 1.0;
+    }
+    if min_y > 0.0 && min_y < 0.25 * max_y {
+        min_y = 0.0;
+    }
+    let span_x = (max_x - min_x).max(f64::EPSILON);
+    let span_y = (max_y - min_y).max(f64::EPSILON);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in s.points() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - min_x) / span_x * (width - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / span_y * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let label_top = format_axis(max_y);
+    let label_bottom = format_axis(min_y);
+    let gutter = label_top.chars().count().max(label_bottom.chars().count());
+    for (row_idx, row) in canvas.iter().enumerate() {
+        let label = if row_idx == 0 {
+            label_top.clone()
+        } else if row_idx == height - 1 {
+            label_bottom.clone()
+        } else {
+            String::new()
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>gutter$} |{line}");
+    }
+    let _ = writeln!(out, "{:>gutter$} +{}", "", "-".repeat(width));
+    let x_left = format_axis(min_x);
+    let x_right = format_axis(max_x);
+    let pad = width.saturating_sub(x_left.chars().count() + x_right.chars().count());
+    let _ = writeln!(out, "{:>gutter$}  {x_left}{}{x_right}", "", " ".repeat(pad));
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.label()))
+        .collect();
+    let _ = writeln!(out, "{:>gutter$}  {}", "", legend.join("   "));
+    out
+}
+
+/// Compact axis-label formatting: integers plain, fractions to 2–3
+/// significant decimals.
+fn format_axis(v: f64) -> String {
+    if (v == v.trunc() && v.abs() < 1e9) || v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising() -> Series {
+        Series::from_xy(
+            "4P",
+            [10.0, 100.0, 400.0, 800.0],
+            [2.8, 3.8, 4.6, 4.9],
+        )
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = ascii_chart("Figure 9", &[rising()], ChartOptions::default());
+        assert!(chart.starts_with("Figure 9\n"));
+        assert!(chart.contains("o 4P"), "legend present");
+        assert!(chart.contains('|'), "y axis drawn");
+        assert!(chart.contains('+'), "origin corner drawn");
+        assert!(chart.contains("10"), "x labels present");
+        assert!(chart.contains("800"));
+        // All four points plotted.
+        let marks = chart.matches('o').count();
+        assert!(marks >= 4, "points on canvas + legend: {marks}");
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let chart = ascii_chart("m", &[rising()], ChartOptions { width: 40, height: 10 });
+        // The first plotted row (highest y) must correspond to the largest
+        // x: find row and column of each 'o' in the plot area.
+        let mut coords = Vec::new();
+        for (r, line) in chart.lines().enumerate() {
+            if let Some(bar) = line.find('|') {
+                for (c, ch) in line[bar + 1..].char_indices() {
+                    if ch == 'o' {
+                        coords.push((r, c));
+                    }
+                }
+            }
+        }
+        coords.sort_by_key(|&(_, c)| c);
+        let rows: Vec<usize> = coords.iter().map(|&(r, _)| r).collect();
+        assert!(
+            rows.windows(2).all(|w| w[1] <= w[0]),
+            "higher x plots at or above lower x: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_markers() {
+        let a = Series::from_xy("1P", [0.0, 1.0], [1.0, 2.0]);
+        let b = Series::from_xy("4P", [0.0, 1.0], [3.0, 4.0]);
+        let chart = ascii_chart("two", &[a, b], ChartOptions::default());
+        assert!(chart.contains("o 1P"));
+        assert!(chart.contains("x 4P"));
+        assert!(chart.contains('x'), "second marker plotted");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert!(ascii_chart("empty", &[], ChartOptions::default()).contains("no data"));
+        let flat = Series::from_xy("f", [1.0, 2.0], [5.0, 5.0]);
+        let chart = ascii_chart("flat", &[flat], ChartOptions::default());
+        assert!(chart.contains("o f"));
+        let single = Series::from_xy("s", [3.0], [7.0]);
+        let chart = ascii_chart("one", &[single], ChartOptions::default());
+        assert!(chart.contains("o s"));
+        let nan = Series::from_xy("n", [f64::NAN], [1.0]);
+        assert!(ascii_chart("nan", &[nan], ChartOptions::default()).contains("no data"));
+    }
+
+    #[test]
+    fn tiny_dimensions_are_clamped() {
+        let chart = ascii_chart(
+            "tiny",
+            &[rising()],
+            ChartOptions {
+                width: 1,
+                height: 1,
+            },
+        );
+        assert!(chart.lines().count() >= 6, "clamped to usable minimum");
+    }
+
+    #[test]
+    fn axis_labels_format_sanely() {
+        assert_eq!(format_axis(800.0), "800");
+        assert_eq!(format_axis(4.944), "4.94");
+        assert_eq!(format_axis(0.0123), "0.012");
+        assert_eq!(format_axis(123.4), "123");
+    }
+}

@@ -1,0 +1,741 @@
+//! One generator per paper artifact (tables and figures), all projecting
+//! the same [`Sweep`].
+
+use crate::ladder::{ConfigPoint, PROCESSORS, TREND_WAREHOUSES, WAREHOUSES};
+use crate::report::{format_num, series_table, TextTable};
+use crate::runner::{Sweep, SweepOptions, SweepRow};
+use odb_core::breakdown::{Component, CpiBreakdown, Event, StallCosts};
+use odb_core::extrapolate::{representative_workload, Extrapolator};
+use odb_core::pivot::TwoSegmentFit;
+use odb_core::series::Series;
+
+/// Builds one series per processor count of `metric(row)` over the trend
+/// ladder (1200 W excluded, as the paper does after Fig 2).
+pub fn metric_series<F>(sweep: &Sweep, metric: F) -> Vec<Series>
+where
+    F: Fn(&SweepRow) -> f64,
+{
+    PROCESSORS
+        .iter()
+        .map(|&p| {
+            let mut s = Series::new(format!("{p}P"));
+            for &w in &TREND_WAREHOUSES {
+                if let Some(row) = sweep.row(p, w) {
+                    s.push(w as f64, metric(row));
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// The operating region of one configuration (§4.1's three regions).
+///
+/// A configuration whose client search hit the ceiling without reaching
+/// the utilization target is I/O bound (the paper's 1200 W, pinned at
+/// 63%); negligible disk reads mark the cached/CPU-bound region;
+/// everything between is balanced.
+pub fn region_of(row: &SweepRow) -> &'static str {
+    if row.saturated {
+        "I/O bound"
+    } else if row.measurement.disk_reads_per_txn < 0.2 {
+        "CPU bound"
+    } else {
+        "balanced"
+    }
+}
+
+/// Table 1: clients needed for ≥90% CPU utilization at each `(W, P)`.
+pub fn table1(sweep: &Sweep) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "1P".into(),
+        "2P".into(),
+        "4P".into(),
+    ]);
+    for &w in &TREND_WAREHOUSES {
+        let mut cells = vec![w.to_string()];
+        for &p in &PROCESSORS {
+            cells.push(
+                sweep
+                    .row(p, w)
+                    .map(|r| {
+                        if r.saturated {
+                            format!("{}*", r.clients)
+                        } else {
+                            r.clients.to_string()
+                        }
+                    })
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig 2: TPS vs `W` per `P`, including the 1200 W I/O-bound point, with
+/// region classification in the table.
+pub fn fig2(sweep: &Sweep) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "1P TPS".into(),
+        "2P TPS".into(),
+        "4P TPS".into(),
+        "region (4P)".into(),
+    ]);
+    for &w in &WAREHOUSES {
+        let mut cells = vec![w.to_string()];
+        for &p in &PROCESSORS {
+            cells.push(
+                sweep
+                    .row(p, w)
+                    .map(|r| format_num(r.measurement.tps(), 0))
+                    .unwrap_or_default(),
+            );
+        }
+        cells.push(
+            sweep
+                .row(4, w)
+                .map(|r| region_of(r).to_owned())
+                .unwrap_or_default(),
+        );
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig 3: CPU-utilization split between OS and user code (4P column of
+/// the paper's stacked chart, reported per `P` here).
+pub fn fig3(sweep: &Sweep) -> TextTable {
+    let series: Vec<Series> = PROCESSORS
+        .iter()
+        .flat_map(|&p| {
+            let mut os = Series::new(format!("{p}P OS%"));
+            let mut user = Series::new(format!("{p}P user%"));
+            for &w in &TREND_WAREHOUSES {
+                if let Some(row) = sweep.row(p, w) {
+                    let util = row.measurement.cpu_utilization * 100.0;
+                    let os_pct = util * row.measurement.os_busy_fraction;
+                    os.push(w as f64, os_pct);
+                    user.push(w as f64, util - os_pct);
+                }
+            }
+            [os, user]
+        })
+        .collect();
+    series_table("Warehouses", &series, 1)
+}
+
+/// Fig 4: total instructions per transaction (millions).
+pub fn fig4(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.ipx() / 1e6),
+        3,
+    )
+}
+
+/// Fig 5: user-space IPX (millions) — flat across `W`.
+pub fn fig5(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.ipx_user() / 1e6),
+        3,
+    )
+}
+
+/// Fig 6: OS-space IPX (millions) — grows with I/O.
+pub fn fig6(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.ipx_os() / 1e6),
+        3,
+    )
+}
+
+/// Fig 7: disk I/O per transaction in KB, split by kind (4P).
+pub fn fig7(sweep: &Sweep, processors: u32) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "read KB".into(),
+        "log KB".into(),
+        "page-write KB".into(),
+        "total KB".into(),
+    ]);
+    for &w in &TREND_WAREHOUSES {
+        if let Some(row) = sweep.row(processors, w) {
+            let io = row.measurement.io_per_txn;
+            t.row(vec![
+                w.to_string(),
+                format_num(io.read_kb, 1),
+                format_num(io.log_write_kb, 1),
+                format_num(io.page_write_kb, 1),
+                format_num(io.total_kb(), 1),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig 8: context switches per transaction.
+pub fn fig8(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.context_switches_per_txn),
+        2,
+    )
+}
+
+/// Fig 9: overall CPI.
+pub fn fig9(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.cpi()),
+        3,
+    )
+}
+
+/// Fig 10: user-space CPI.
+pub fn fig10(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.cpi_user()),
+        3,
+    )
+}
+
+/// Fig 11: OS-space CPI (decreasing with `W`).
+pub fn fig11(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.cpi_os()),
+        3,
+    )
+}
+
+/// Table 2: the performance-monitoring events (static).
+pub fn table2() -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Event Alias".into(),
+        "EMON Events Used".into(),
+        "Description".into(),
+    ]);
+    for e in Event::ALL {
+        t.row(vec![
+            e.alias().to_owned(),
+            e.emon_events().to_owned(),
+            e.description().to_owned(),
+        ]);
+    }
+    t
+}
+
+/// Table 3: per-event stall costs (static + the measured bus baseline).
+pub fn table3() -> TextTable {
+    let c = StallCosts::xeon();
+    let mut t = TextTable::new(vec!["Event Alias".into(), "Cycles per Event".into()]);
+    let rows: [(&str, f64, &str); 7] = [
+        ("Instruction", c.instruction, ""),
+        ("Branch Misprediction", c.branch_misprediction, ""),
+        ("TLB Miss", c.tlb_miss, ""),
+        ("TC Miss", c.tc_miss, ""),
+        ("L2 Miss", c.l2_miss, " (measured)"),
+        ("L3 Miss", c.l3_miss, " (measured)"),
+        ("Bus-Transaction Time for 1P", c.bus_transaction_1p, " (measured)"),
+    ];
+    for (name, v, note) in rows {
+        t.row(vec![name.to_owned(), format!("{v}{note}")]);
+    }
+    t
+}
+
+/// Table 4: the CPI component formulas (static).
+pub fn table4() -> TextTable {
+    let mut t = TextTable::new(vec!["CPI Component".into(), "Contribution Formula".into()]);
+    for c in Component::ALL {
+        t.row(vec![c.to_string(), c.formula().to_owned()]);
+    }
+    t
+}
+
+/// Fig 12: the CPI breakdown stack per `W` for one processor count.
+pub fn fig12(sweep: &Sweep, processors: u32) -> TextTable {
+    let costs = StallCosts::xeon();
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "Inst".into(),
+        "Branch".into(),
+        "TLB".into(),
+        "TC".into(),
+        "L2".into(),
+        "L3".into(),
+        "Other".into(),
+        "CPI".into(),
+        "L3 share".into(),
+    ]);
+    for &w in &TREND_WAREHOUSES {
+        if let Some(row) = sweep.row(processors, w) {
+            let m = &row.measurement;
+            let counts = m.total();
+            if let Ok(b) = CpiBreakdown::compute(&counts, &costs, m.bus_transaction_cycles) {
+                t.row(vec![
+                    w.to_string(),
+                    format_num(b.inst, 2),
+                    format_num(b.branch, 2),
+                    format_num(b.tlb, 2),
+                    format_num(b.tc, 2),
+                    format_num(b.l2, 2),
+                    format_num(b.l3, 2),
+                    format_num(b.other, 2),
+                    format_num(b.measured_cpi, 2),
+                    format!("{:.0}%", 100.0 * b.fraction(Component::L3)),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Fig 13: overall L3 MPI (×1000 for readability).
+pub fn fig13(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.mpi() * 1e3),
+        3,
+    )
+}
+
+/// Fig 14: user-space MPI (×1000).
+pub fn fig14(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.mpi_user() * 1e3),
+        3,
+    )
+}
+
+/// Fig 15: OS-space MPI (×1000).
+pub fn fig15(sweep: &Sweep) -> TextTable {
+    series_table(
+        "Warehouses",
+        &metric_series(sweep, |r| r.measurement.mpi_os() * 1e3),
+        3,
+    )
+}
+
+/// Fig 16: bus-transaction (IOQ) time in cycles, plus bus utilization.
+pub fn fig16(sweep: &Sweep) -> TextTable {
+    let mut series = metric_series(sweep, |r| r.measurement.bus_transaction_cycles);
+    for s in &mut series {
+        let label = format!("{} IOQ", s.label());
+        *s = Series::from_xy(label, s.xs(), s.ys());
+    }
+    let mut util = metric_series(sweep, |r| r.measurement.bus_utilization * 100.0);
+    for s in &mut util {
+        let label = format!("{} bus%", s.label());
+        *s = Series::from_xy(label, s.xs(), s.ys());
+    }
+    series.extend(util);
+    series_table("Warehouses", &series, 1)
+}
+
+/// A two-segment fit of one metric trend plus its pivot (Figs 17–18).
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The fitted model.
+    pub fit: TwoSegmentFit,
+    /// Pivot in warehouses (x) and metric units (y), when lines cross.
+    pub pivot: Option<(f64, f64)>,
+    /// Rendered per-point actual-vs-fitted table.
+    pub table: TextTable,
+}
+
+/// Fits the two-region model to a metric for one processor count.
+///
+/// # Errors
+///
+/// Propagates fitting errors (fewer than four points, unsorted xs).
+pub fn fit_metric<F>(
+    sweep: &Sweep,
+    processors: u32,
+    metric: F,
+    metric_name: &str,
+) -> Result<FitReport, odb_core::Error>
+where
+    F: Fn(&SweepRow) -> f64,
+{
+    let rows = sweep.rows_for(processors);
+    let rows: Vec<&&SweepRow> = rows
+        .iter()
+        .filter(|r| TREND_WAREHOUSES.contains(&r.point.warehouses))
+        .collect();
+    let xs: Vec<f64> = rows.iter().map(|r| r.point.warehouses as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| metric(r)).collect();
+    let fit = TwoSegmentFit::fit(&xs, &ys)?;
+    let pivot = fit.pivot().map(|p| (p.x, p.y));
+    let mut table = TextTable::new(vec![
+        "Warehouses".into(),
+        format!("{metric_name} actual"),
+        format!("{metric_name} fitted"),
+        "region".into(),
+    ]);
+    let transition = fit.transition_x();
+    for (&x, &y) in xs.iter().zip(&ys) {
+        table.row(vec![
+            format_num(x, 0),
+            format_num(y, 4),
+            format_num(fit.predict(x), 4),
+            if x < transition { "cached" } else { "scaled" }.into(),
+        ]);
+    }
+    Ok(FitReport { fit, pivot, table })
+}
+
+/// Fig 17: the CPI two-segment fit for one processor count (paper: 4P).
+///
+/// # Errors
+///
+/// Propagates fitting errors.
+pub fn fig17(sweep: &Sweep, processors: u32) -> Result<FitReport, odb_core::Error> {
+    fit_metric(sweep, processors, |r| r.measurement.cpi(), "CPI")
+}
+
+/// Fig 18: the MPI two-segment fit (×1000 units).
+///
+/// # Errors
+///
+/// Propagates fitting errors.
+pub fn fig18(sweep: &Sweep, processors: u32) -> Result<FitReport, odb_core::Error> {
+    fit_metric(sweep, processors, |r| r.measurement.mpi() * 1e3, "MPI(x1000)")
+}
+
+/// Table 5: CPI and MPI pivot points per processor count, plus the
+/// representative workload (§6.2) picked from the paper ladder.
+///
+/// # Errors
+///
+/// Propagates fitting errors.
+pub fn table5(sweep: &Sweep) -> Result<TextTable, odb_core::Error> {
+    let mut t = TextTable::new(vec![
+        "Processors".into(),
+        "CPI".into(),
+        "MPI".into(),
+        "representative W".into(),
+    ]);
+    for &p in &PROCESSORS {
+        // Processor counts the sweep did not measure render as blanks.
+        let (Ok(cpi), Ok(mpi)) = (fig17(sweep, p), fig18(sweep, p)) else {
+            t.row(vec![format!("{p}P"), String::new(), String::new(), String::new()]);
+            continue;
+        };
+        let cpi_pivot = cpi.pivot.map(|(x, _)| x);
+        let mpi_pivot = mpi.pivot.map(|(x, _)| x);
+        let representative = cpi_pivot
+            .and_then(|x| representative_workload(x, &TREND_WAREHOUSES))
+            .map(|w| w.to_string())
+            .unwrap_or_default();
+        t.row(vec![
+            format!("{p}P"),
+            cpi_pivot.map(|x| format_num(x, 0)).unwrap_or_default(),
+            mpi_pivot.map(|x| format_num(x, 0)).unwrap_or_default(),
+            representative,
+        ]);
+    }
+    Ok(t)
+}
+
+/// §6.2 validation: fit on configurations up to `fit_max_w`, extrapolate
+/// the rest, and report the error — "simulation results based on the
+/// 200W setup may be used to accurately project the behaviors of fully
+/// scaled setups".
+///
+/// # Errors
+///
+/// Propagates fitting errors and empty hold-out sets.
+pub fn extrapolation_check(
+    sweep: &Sweep,
+    processors: u32,
+    fit_max_w: u32,
+) -> Result<TextTable, odb_core::Error> {
+    let rows = sweep.rows_for(processors);
+    let rows: Vec<&&SweepRow> = rows
+        .iter()
+        .filter(|r| TREND_WAREHOUSES.contains(&r.point.warehouses))
+        .collect();
+    let (train, test): (Vec<&&&SweepRow>, Vec<&&&SweepRow>) = rows
+        .iter()
+        .partition(|r| r.point.warehouses <= fit_max_w);
+    let xs: Vec<f64> = train.iter().map(|r| r.point.warehouses as f64).collect();
+    let ys: Vec<f64> = train.iter().map(|r| r.measurement.cpi()).collect();
+    let ex = Extrapolator::from_measurements(&xs, &ys)?;
+    let held: Vec<(f64, f64)> = test
+        .iter()
+        .map(|r| (r.point.warehouses as f64, r.measurement.cpi()))
+        .collect();
+    let report = ex.validate(&held)?;
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "CPI predicted".into(),
+        "CPI actual".into(),
+        "error %".into(),
+    ]);
+    for (x, pred, actual) in &report.points {
+        t.row(vec![
+            format_num(*x, 0),
+            format_num(*pred, 3),
+            format_num(*actual, 3),
+            format!("{:.1}", 100.0 * (pred - actual).abs() / actual),
+        ]);
+    }
+    t.row(vec![
+        "MAPE".into(),
+        String::new(),
+        String::new(),
+        format!("{:.1}", report.mape * 100.0),
+    ]);
+    Ok(t)
+}
+
+/// Fig 19: the Itanium2 CPI scaling run (§6.3) — same ladder, 4P only.
+///
+/// # Errors
+///
+/// Propagates sweep/fitting errors.
+pub fn fig19(options: &SweepOptions) -> Result<(Sweep, FitReport), odb_core::Error> {
+    let points: Vec<ConfigPoint> = TREND_WAREHOUSES
+        .iter()
+        .map(|&w| ConfigPoint {
+            warehouses: w,
+            processors: 4,
+        })
+        .collect();
+    let sweep = Sweep::run_points(
+        &odb_core::config::SystemConfig::itanium2_quad(),
+        options,
+        &points,
+    )?;
+    let report = fig17(&sweep, 4)?;
+    Ok((sweep, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odb_core::metrics::{IoPerTxn, Measurement, SpaceCounts};
+    use odb_memsim::hierarchy::HierarchyCounts;
+    use odb_memsim::rates::{EventRates, SpaceRates};
+    use odb_memsim::trace::Characterization;
+
+    /// Builds a synthetic sweep with paper-like shapes so figure
+    /// generators can be tested without running simulations.
+    fn synthetic_sweep() -> Sweep {
+        let mut rows = Vec::new();
+        for &p in &PROCESSORS {
+            for &w in &WAREHOUSES {
+                let wf = w as f64;
+                // Two-region CPI: steep to 100 W, gentle after.
+                let cpi = if w <= 100 {
+                    2.5 + 0.02 * wf
+                } else {
+                    4.3 + 0.002 * wf
+                } + 0.3 * (p as f64 - 1.0);
+                let mpi = (if w <= 100 {
+                    4.0 + 0.04 * wf
+                } else {
+                    7.6 + 0.004 * wf
+                }) * 1e-3;
+                let ipx_user = 1.07e6;
+                let ipx_os = 4.0e4 + 150.0 * wf;
+                let tps = p as f64 * 1.6e9 / ((ipx_user + ipx_os) * cpi);
+                let txns = (tps * 10.0) as u64;
+                let instr_u = (ipx_user * txns as f64) as u64;
+                let instr_o = (ipx_os * txns as f64) as u64;
+                let m = Measurement {
+                    warehouses: w,
+                    clients: 8 + p * 4,
+                    processors: p,
+                    elapsed_seconds: 10.0,
+                    transactions: txns,
+                    user: SpaceCounts {
+                        instructions: instr_u,
+                        cycles: (instr_u as f64 * cpi) as u64,
+                        l3_misses: (instr_u as f64 * mpi) as u64,
+                        l2_misses: (instr_u as f64 * mpi * 2.5) as u64,
+                        tc_misses: (instr_u as f64 * 0.01) as u64,
+                        tlb_misses: (instr_u as f64 * 0.003) as u64,
+                        branch_mispredictions: (instr_u as f64 * 0.004) as u64,
+                    },
+                    os: SpaceCounts {
+                        instructions: instr_o,
+                        cycles: (instr_o as f64 * cpi * 1.2) as u64,
+                        l3_misses: (instr_o as f64 * mpi * 1.1) as u64,
+                        l2_misses: (instr_o as f64 * mpi * 2.6) as u64,
+                        tc_misses: (instr_o as f64 * 0.01) as u64,
+                        tlb_misses: (instr_o as f64 * 0.003) as u64,
+                        branch_mispredictions: (instr_o as f64 * 0.005) as u64,
+                    },
+                    cpu_utilization: if w == 1200 { 0.7 } else { 0.95 },
+                    os_busy_fraction: 0.10 + 0.0001 * wf,
+                    io_per_txn: IoPerTxn {
+                        read_kb: (0.02 * wf).min(20.0),
+                        log_write_kb: 5.3,
+                        page_write_kb: if w < 50 { 0.0 } else { 5.0 },
+                    },
+                    disk_reads_per_txn: (0.0025 * wf).min(2.5),
+                    context_switches_per_txn: 1.0 + 0.003 * wf,
+                    bus_utilization: 0.1 * p as f64 + 0.0001 * wf,
+                    bus_transaction_cycles: 102.0 + 12.0 * (p as f64 - 1.0),
+                };
+                let zero_rates = SpaceRates {
+                    tc_miss: 0.0,
+                    l2_miss: 0.0,
+                    l3_miss: 0.0,
+                    l3_coherence_miss: 0.0,
+                    l3_writeback: 0.0,
+                    tlb_miss: 0.0,
+                    branch_mispred: 0.0,
+                    other_stall_cpi: 0.0,
+                };
+                rows.push(SweepRow {
+                    point: ConfigPoint {
+                        warehouses: w,
+                        processors: p,
+                    },
+                    clients: 8 + p * 4,
+                    saturated: w == 1200,
+                    measurement: m,
+                    characterization: Characterization {
+                        rates: EventRates {
+                            user: zero_rates,
+                            os: zero_rates,
+                        },
+                        user_counts: HierarchyCounts::default(),
+                        os_counts: HierarchyCounts::default(),
+                        coherence_invalidations: 0,
+                        instructions: 0,
+                    },
+                });
+            }
+        }
+        Sweep::from_rows(rows)
+    }
+
+    #[test]
+    fn table1_reports_all_points() {
+        let t = table1(&synthetic_sweep());
+        assert_eq!(t.len(), TREND_WAREHOUSES.len());
+        let s = t.render();
+        assert!(s.contains("1P"));
+        assert!(s.contains("4P"));
+    }
+
+    #[test]
+    fn fig2_classifies_regions() {
+        let s = fig2(&synthetic_sweep()).render();
+        assert!(s.contains("CPU bound"));
+        assert!(s.contains("balanced"));
+        assert!(s.contains("I/O bound"));
+        assert!(s.contains("1200"));
+    }
+
+    #[test]
+    fn static_tables_match_paper() {
+        let t2 = table2().render();
+        assert!(t2.contains("instr_retired"));
+        assert!(t2.contains("Bus-Transaction Time"));
+        let t3 = table3().render();
+        assert!(t3.contains("0.5"));
+        assert!(t3.contains("300 (measured)"));
+        assert!(t3.contains("102 (measured)"));
+        let t4 = table4().render();
+        assert!(t4.contains("(L2 Miss - L3 Miss) * 16"));
+        assert!(t4.contains("Other"));
+    }
+
+    #[test]
+    fn fig12_l3_dominates_at_scale() {
+        let t = fig12(&synthetic_sweep(), 4);
+        let s = t.render();
+        assert_eq!(t.len(), TREND_WAREHOUSES.len());
+        // The L3 share column exists and is a percentage.
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn fits_find_the_knee() {
+        let sweep = synthetic_sweep();
+        let cpi = fig17(&sweep, 4).unwrap();
+        let (x, _) = cpi.pivot.expect("lines cross");
+        assert!(
+            (60.0..220.0).contains(&x),
+            "CPI pivot at {x} for a knee near 100"
+        );
+        let mpi = fig18(&sweep, 4).unwrap();
+        let (xm, _) = mpi.pivot.expect("lines cross");
+        assert!((60.0..220.0).contains(&xm), "MPI pivot at {xm}");
+        assert!(cpi.table.len() == TREND_WAREHOUSES.len());
+    }
+
+    #[test]
+    fn table5_reports_every_p() {
+        let t = table5(&synthetic_sweep()).unwrap();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("representative"));
+        // Representative workload = smallest ladder W above the pivot.
+        assert!(s.contains("200") || s.contains("100") || s.contains("300"));
+    }
+
+    #[test]
+    fn extrapolation_check_is_accurate_on_synthetic_shapes() {
+        let t = extrapolation_check(&synthetic_sweep(), 4, 300).unwrap();
+        let s = t.render();
+        assert!(s.contains("MAPE"));
+        // Synthetic data is exactly piecewise linear: tiny error.
+        let mape_line = s.lines().last().unwrap();
+        let mape: f64 = mape_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mape < 2.0, "MAPE {mape}%");
+    }
+
+    #[test]
+    fn series_projections_have_expected_shapes() {
+        let sweep = synthetic_sweep();
+        // Fig 5: user IPX flat.
+        let user = metric_series(&sweep, |r| r.measurement.ipx_user());
+        for s in &user {
+            let range = s.max_y().unwrap() - s.min_y().unwrap();
+            assert!(range / s.max_y().unwrap() < 0.02, "user IPX flat");
+        }
+        // Fig 6: OS IPX strictly increasing.
+        let os = metric_series(&sweep, |r| r.measurement.ipx_os());
+        for s in &os {
+            let ys = s.ys();
+            assert!(ys.windows(2).all(|w| w[0] < w[1]), "OS IPX grows");
+        }
+        // Rendered tables parse.
+        for t in [
+            fig3(&sweep),
+            fig4(&sweep),
+            fig5(&sweep),
+            fig6(&sweep),
+            fig7(&sweep, 4),
+            fig8(&sweep),
+            fig9(&sweep),
+            fig10(&sweep),
+            fig11(&sweep),
+            fig13(&sweep),
+            fig14(&sweep),
+            fig15(&sweep),
+            fig16(&sweep),
+        ] {
+            assert!(!t.is_empty());
+            assert!(!t.render().is_empty());
+        }
+    }
+}

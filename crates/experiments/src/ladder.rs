@@ -1,0 +1,77 @@
+//! The configuration ladders of the paper's evaluation.
+
+/// Warehouse counts the paper sweeps (Figs 2–16 use 10–800 with the
+/// 1200 W point shown only as the I/O-bound exemplar of Fig 2).
+pub const WAREHOUSES: [u32; 9] = [10, 25, 50, 100, 200, 300, 500, 800, 1200];
+
+/// Warehouse counts used for trend analysis (≥90% utilization region —
+/// the paper excludes 1200 W from everything after Fig 2).
+pub const TREND_WAREHOUSES: [u32; 8] = [10, 25, 50, 100, 200, 300, 500, 800];
+
+/// Processor counts of the study.
+pub const PROCESSORS: [u32; 3] = [1, 2, 4];
+
+/// Table 1's client search space: 1..=64 concurrent clients.
+pub const MAX_CLIENTS: u32 = 64;
+
+/// Candidate client counts tried by the utilization search, ascending.
+pub const CLIENT_GRID: [u32; 16] = [1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64];
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigPoint {
+    /// Warehouses.
+    pub warehouses: u32,
+    /// Processors.
+    pub processors: u32,
+}
+
+/// The full `(W, P)` grid in deterministic order.
+pub fn paper_ladder() -> Vec<ConfigPoint> {
+    let mut points = Vec::with_capacity(WAREHOUSES.len() * PROCESSORS.len());
+    for &p in &PROCESSORS {
+        for &w in &WAREHOUSES {
+            points.push(ConfigPoint {
+                warehouses: w,
+                processors: p,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_covers_grid_in_order() {
+        let l = paper_ladder();
+        assert_eq!(l.len(), 27);
+        assert_eq!(
+            l[0],
+            ConfigPoint {
+                warehouses: 10,
+                processors: 1
+            }
+        );
+        assert_eq!(
+            l[26],
+            ConfigPoint {
+                warehouses: 1200,
+                processors: 4
+            }
+        );
+        // Strictly increasing W within each P block.
+        for block in l.chunks(WAREHOUSES.len()) {
+            assert!(block.windows(2).all(|w| w[0].warehouses < w[1].warehouses));
+        }
+    }
+
+    #[test]
+    fn client_grid_is_ascending_and_bounded() {
+        assert!(CLIENT_GRID.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*CLIENT_GRID.last().unwrap(), MAX_CLIENTS);
+        assert!(TREND_WAREHOUSES.iter().all(|w| WAREHOUSES.contains(w)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment harness: regenerates every table and figure in the paper's
+//! evaluation (§4–§6) from the full-system simulation.
+//!
+//! The entire evaluation hangs off **one sweep** ([`runner::Sweep`]): for
+//! each `(W, P)` in the paper's ladder, find the client count that
+//! sustains ≥90% CPU utilization (Table 1's criterion), then take one
+//! measurement-grade run. Every figure is a projection of those rows:
+//!
+//! | Artifact | Projection |
+//! |---|---|
+//! | Table 1 | the client counts themselves |
+//! | Fig 2 | TPS vs `W` per `P`, with region classification |
+//! | Fig 3 | OS/user split of busy time |
+//! | Figs 4–6 | IPX total/user/OS |
+//! | Fig 7 | disk KB per transaction by kind |
+//! | Fig 8 | context switches per transaction |
+//! | Figs 9–11 | CPI total/user/OS |
+//! | Tables 2–4 | static (events, stall costs, formulas) |
+//! | Fig 12 | CPI breakdown stack |
+//! | Figs 13–15 | L3 MPI total/user/OS |
+//! | Fig 16 | IOQ bus-transaction time |
+//! | Figs 17–18, Table 5 | two-segment fits and pivot points |
+//! | Fig 19 | the same sweep on the Itanium2 preset |
+//!
+//! [`figures`] holds one generator per artifact; [`report`] renders
+//! aligned text tables and CSV; `ablations` (in [`figures`]) covers the
+//! §6.3 conjectures (L3 size, bus bandwidth, disk bandwidth, coherence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod figures;
+pub mod html;
+pub mod ladder;
+pub mod persist;
+pub mod report;
+pub mod runner;
+pub mod scorecard;
+pub mod svg;
+
+pub use ladder::{paper_ladder, ConfigPoint};
+pub use runner::{Sweep, SweepOptions};

@@ -1,0 +1,327 @@
+//! Saving and replaying sweeps.
+//!
+//! A full-fidelity sweep costs minutes of simulation; the figures built
+//! from it cost milliseconds. Persisting the sweep as CSV lets the
+//! artifact generators (and readers of `results/sweep.csv`) work from
+//! the exact measured rows without re-simulating — and archives the data
+//! behind EXPERIMENTS.md in a diff-friendly form.
+
+use crate::ladder::ConfigPoint;
+use crate::runner::{Sweep, SweepRow};
+use odb_core::metrics::{IoPerTxn, Measurement, SpaceCounts};
+use odb_core::Error;
+use odb_memsim::hierarchy::HierarchyCounts;
+use odb_memsim::rates::{EventRates, SpaceRates};
+use odb_memsim::trace::Characterization;
+
+/// The CSV header, one column per persisted field.
+const HEADER: &str = "processors,warehouses,clients,saturated,elapsed_seconds,transactions,\
+user_instructions,user_cycles,user_l3,user_l2,user_tc,user_tlb,user_branch,\
+os_instructions,os_cycles,os_l3,os_l2,os_tc,os_tlb,os_branch,\
+cpu_utilization,os_busy_fraction,read_kb,log_kb,page_kb,reads_per_txn,cs_per_txn,\
+bus_utilization,bus_transaction_cycles";
+
+/// Serializes every sweep row to CSV (stable column order, header first).
+pub fn sweep_to_csv(sweep: &Sweep) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for row in sweep.iter() {
+        let m = &row.measurement;
+        let u = &m.user;
+        let o = &m.os;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            m.processors,
+            m.warehouses,
+            row.clients,
+            row.saturated,
+            m.elapsed_seconds,
+            m.transactions,
+            u.instructions,
+            u.cycles,
+            u.l3_misses,
+            u.l2_misses,
+            u.tc_misses,
+            u.tlb_misses,
+            u.branch_mispredictions,
+            o.instructions,
+            o.cycles,
+            o.l3_misses,
+            o.l2_misses,
+            o.tc_misses,
+            o.tlb_misses,
+            o.branch_mispredictions,
+            m.cpu_utilization,
+            m.os_busy_fraction,
+            m.io_per_txn.read_kb,
+            m.io_per_txn.log_write_kb,
+            m.io_per_txn.page_write_kb,
+            m.disk_reads_per_txn,
+            m.context_switches_per_txn,
+            m.bus_utilization,
+            m.bus_transaction_cycles,
+        ));
+    }
+    out
+}
+
+/// Parses a sweep previously written by [`sweep_to_csv`].
+///
+/// The cache characterization is not round-tripped (it is derivable by
+/// re-running and only the coherence ablation consumes it); replayed
+/// rows carry an empty one.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] describing the first malformed line.
+pub fn sweep_from_csv(csv: &str) -> Result<Sweep, Error> {
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap_or_default();
+    if header != HEADER {
+        return Err(Error::InvalidConfig {
+            field: "csv",
+            reason: "unrecognized header (wrong file or version?)".to_owned(),
+        });
+    }
+    let mut rows = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let expected = HEADER.split(',').count();
+        if fields.len() != expected {
+            return Err(Error::InvalidConfig {
+                field: "csv",
+                reason: format!(
+                    "line {}: {} fields, expected {expected}",
+                    idx + 2,
+                    fields.len()
+                ),
+            });
+        }
+        let mut it = fields.into_iter();
+        let mut next_u64 = |name: &'static str| -> Result<u64, Error> {
+            it.next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(Error::InvalidConfig {
+                    field: name,
+                    reason: format!("line {}: not an integer", idx + 2),
+                })
+        };
+        let processors = next_u64("processors")? as u32;
+        let warehouses = next_u64("warehouses")? as u32;
+        let clients = next_u64("clients")? as u32;
+        let saturated = match it.next() {
+            Some("true") => true,
+            Some("false") => false,
+            _ => {
+                return Err(Error::InvalidConfig {
+                    field: "saturated",
+                    reason: format!("line {}: expected true/false", idx + 2),
+                })
+            }
+        };
+        let mut next_f64 = |name: &'static str| -> Result<f64, Error> {
+            it.next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(Error::InvalidConfig {
+                    field: name,
+                    reason: format!("line {}: not a number", idx + 2),
+                })
+        };
+        let elapsed_seconds = next_f64("elapsed_seconds")?;
+        // Re-borrow as integers for the counter block.
+        let mut next_u64 = |name: &'static str| -> Result<u64, Error> {
+            it.next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(Error::InvalidConfig {
+                    field: name,
+                    reason: format!("line {}: not an integer", idx + 2),
+                })
+        };
+        let transactions = next_u64("transactions")?;
+        let mut counts = |prefix: &'static str| -> Result<SpaceCounts, Error> {
+            Ok(SpaceCounts {
+                instructions: next_u64(prefix)?,
+                cycles: next_u64(prefix)?,
+                l3_misses: next_u64(prefix)?,
+                l2_misses: next_u64(prefix)?,
+                tc_misses: next_u64(prefix)?,
+                tlb_misses: next_u64(prefix)?,
+                branch_mispredictions: next_u64(prefix)?,
+            })
+        };
+        let user = counts("user")?;
+        let os = counts("os")?;
+        let mut next_f64 = |name: &'static str| -> Result<f64, Error> {
+            it.next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(Error::InvalidConfig {
+                    field: name,
+                    reason: format!("line {}: not a number", idx + 2),
+                })
+        };
+        let cpu_utilization = next_f64("cpu_utilization")?;
+        let os_busy_fraction = next_f64("os_busy_fraction")?;
+        let read_kb = next_f64("read_kb")?;
+        let log_write_kb = next_f64("log_kb")?;
+        let page_write_kb = next_f64("page_kb")?;
+        let disk_reads_per_txn = next_f64("reads_per_txn")?;
+        let context_switches_per_txn = next_f64("cs_per_txn")?;
+        let bus_utilization = next_f64("bus_utilization")?;
+        let bus_transaction_cycles = next_f64("bus_transaction_cycles")?;
+
+        rows.push(SweepRow {
+            point: ConfigPoint {
+                warehouses,
+                processors,
+            },
+            clients,
+            saturated,
+            measurement: Measurement {
+                warehouses,
+                clients,
+                processors,
+                elapsed_seconds,
+                transactions,
+                user,
+                os,
+                cpu_utilization,
+                os_busy_fraction,
+                io_per_txn: IoPerTxn {
+                    read_kb,
+                    log_write_kb,
+                    page_write_kb,
+                },
+                disk_reads_per_txn,
+                context_switches_per_txn,
+                bus_utilization,
+                bus_transaction_cycles,
+            },
+            characterization: empty_characterization(),
+        });
+    }
+    Ok(Sweep::from_rows(rows))
+}
+
+/// The placeholder characterization carried by replayed rows.
+fn empty_characterization() -> Characterization {
+    let zero = SpaceRates {
+        tc_miss: 0.0,
+        l2_miss: 0.0,
+        l3_miss: 0.0,
+        l3_coherence_miss: 0.0,
+        l3_writeback: 0.0,
+        tlb_miss: 0.0,
+        branch_mispred: 0.0,
+        other_stall_cpi: 0.0,
+    };
+    Characterization {
+        rates: EventRates {
+            user: zero,
+            os: zero,
+        },
+        user_counts: HierarchyCounts::default(),
+        os_counts: HierarchyCounts::default(),
+        coherence_invalidations: 0,
+        instructions: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sweep() -> Sweep {
+        let m = Measurement {
+            warehouses: 100,
+            clients: 48,
+            processors: 4,
+            elapsed_seconds: 6.0,
+            transactions: 7_777,
+            user: SpaceCounts {
+                instructions: 8_000_000_000,
+                cycles: 30_000_000_000,
+                l3_misses: 60_000_000,
+                l2_misses: 170_000_000,
+                tc_misses: 80_000_000,
+                tlb_misses: 25_000_000,
+                branch_mispredictions: 32_000_000,
+            },
+            os: SpaceCounts {
+                instructions: 900_000_000,
+                cycles: 5_500_000_000,
+                l3_misses: 9_000_000,
+                l2_misses: 20_000_000,
+                tc_misses: 8_000_000,
+                tlb_misses: 2_000_000,
+                branch_mispredictions: 4_500_000,
+            },
+            cpu_utilization: 0.93,
+            os_busy_fraction: 0.145,
+            io_per_txn: IoPerTxn {
+                read_kb: 8.7,
+                log_write_kb: 5.3,
+                page_write_kb: 6.9,
+            },
+            disk_reads_per_txn: 1.09,
+            context_switches_per_txn: 2.3,
+            bus_utilization: 0.415,
+            bus_transaction_cycles: 139.7,
+        };
+        Sweep::from_rows(vec![SweepRow {
+            point: ConfigPoint {
+                warehouses: 100,
+                processors: 4,
+            },
+            clients: 48,
+            saturated: false,
+            measurement: m,
+            characterization: empty_characterization(),
+        }])
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let sweep = sample_sweep();
+        let csv = sweep_to_csv(&sweep);
+        let replayed = sweep_from_csv(&csv).unwrap();
+        assert_eq!(replayed.len(), 1);
+        let a = sweep.row(4, 100).unwrap();
+        let b = replayed.row(4, 100).unwrap();
+        assert_eq!(a.measurement, b.measurement);
+        assert_eq!(a.clients, b.clients);
+        assert_eq!(a.saturated, b.saturated);
+        // Derived metrics therefore agree too.
+        assert_eq!(a.measurement.cpi(), b.measurement.cpi());
+        assert_eq!(a.measurement.tps(), b.measurement.tps());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(sweep_from_csv("").is_err(), "missing header");
+        assert!(sweep_from_csv("nonsense\n1,2,3").is_err(), "bad header");
+        let csv = sweep_to_csv(&sample_sweep());
+        let truncated: String = csv
+            .lines()
+            .map(|l| l.rsplit_once(',').map(|(a, _)| a).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(sweep_from_csv(&truncated).is_err(), "short rows rejected");
+        let garbled = csv.replace("0.93", "not-a-number");
+        assert!(sweep_from_csv(&garbled).is_err());
+        // Blank trailing lines are tolerated.
+        let padded = format!("{csv}\n\n");
+        assert!(sweep_from_csv(&padded).is_ok());
+    }
+
+    #[test]
+    fn figure_generators_accept_replayed_sweeps() {
+        let csv = sweep_to_csv(&sample_sweep());
+        let replayed = sweep_from_csv(&csv).unwrap();
+        let t = crate::figures::fig7(&replayed, 4);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("8.7"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Rendering: aligned text tables and CSV emission.
+
+use odb_core::series::Series;
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use odb_experiments::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["W".into(), "TPS".into()]);
+/// t.row(vec!["10".into(), "1998".into()]);
+/// let s = t.render();
+/// assert!(s.contains("W"));
+/// assert!(s.contains("1998"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with right-aligned columns separated by two spaces.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:>width$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing
+    /// commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders several series sharing an x-axis as one table: first column
+/// `x_label`, one column per series.
+///
+/// Series may have different x sets; missing points render empty.
+pub fn series_table(x_label: &str, series: &[Series], precision: usize) -> TextTable {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.xs())
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite xs"));
+    xs.dedup();
+    let mut header = vec![x_label.to_owned()];
+    header.extend(series.iter().map(|s| s.label().to_owned()));
+    let mut table = TextTable::new(header);
+    for &x in &xs {
+        let mut cells = vec![format_num(x, 0)];
+        for s in series {
+            cells.push(
+                s.y_at(x)
+                    .map(|y| format_num(y, precision))
+                    .unwrap_or_default(),
+            );
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Formats a number with fixed decimals, dropping trailing noise.
+pub fn format_num(v: f64, precision: usize) -> String {
+    format!("{v:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Warehouses".into(), "TPS".into()]);
+        t.row(vec!["10".into(), "1998".into()]);
+        t.row(vec!["800".into(), "920".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header, rule, two rows");
+        assert!(lines[0].ends_with("TPS"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned: the shorter number is padded.
+        assert!(lines[2].contains("        10"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = TextTable::new(vec!["a".into(), "b,c".into()]);
+        t.row(vec!["1".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "a,\"b,c\"");
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn series_table_merges_x_axes() {
+        let a = Series::from_xy("1P", [10.0, 100.0], [1.0, 2.0]);
+        let b = Series::from_xy("4P", [10.0, 50.0], [3.0, 4.0]);
+        let t = series_table("W", &[a, b], 1);
+        let s = t.render();
+        assert!(s.contains("1P"));
+        assert!(s.contains("4P"));
+        assert_eq!(t.len(), 3, "x in {{10, 50, 100}}");
+        // Missing cell renders empty: row for 100 has no 4P value.
+        let csv = t.to_csv();
+        assert!(csv.contains("100,2.0,"));
+        assert!(csv.contains("50,,4.0"));
+    }
+
+    #[test]
+    fn ragged_rows_pad() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "extra".into()]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The sweep runner: client search plus measurement for every `(W, P)`.
+
+use crate::ladder::{paper_ladder, ConfigPoint, CLIENT_GRID};
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_core::metrics::Measurement;
+use odb_engine::{OdbSimulator, SimOptions};
+use odb_memsim::trace::Characterization;
+use std::collections::BTreeMap;
+
+/// The paper's utilization floor for comparable configurations (§3.2.1).
+pub const UTILIZATION_TARGET: f64 = 0.90;
+
+/// Controls sweep fidelity.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Fast options used while searching for the client count.
+    pub probe: SimOptions,
+    /// Measurement-grade options for the final run per point.
+    pub measure: SimOptions,
+    /// Utilization floor the client search aims for.
+    pub utilization_target: f64,
+}
+
+impl SweepOptions {
+    /// Experiment-grade settings (used by the CLI and benches).
+    pub fn standard() -> Self {
+        let mut probe = SimOptions::quick();
+        probe.char_warmup_instructions = 1_200_000;
+        probe.char_measure_instructions = 600_000;
+        // The probe must see the same load mix the final run sees: pull
+        // the dirty-page writeback delay inside the probe window so disk
+        // write traffic is present when utilization is judged.
+        probe.warmup = odb_des::SimTime::from_millis(1_500);
+        probe.measure = odb_des::SimTime::from_millis(2_500);
+        probe.system.writeback_delay = odb_des::SimTime::from_millis(800);
+        Self {
+            probe,
+            measure: SimOptions::standard(),
+            utilization_target: UTILIZATION_TARGET,
+        }
+    }
+
+    /// Reduced settings for tests: quick probes and quick measurement.
+    pub fn quick() -> Self {
+        Self {
+            probe: SimOptions::quick(),
+            measure: SimOptions::quick(),
+            utilization_target: UTILIZATION_TARGET,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The grid point.
+    pub point: ConfigPoint,
+    /// Client count chosen by the utilization search.
+    pub clients: u32,
+    /// `true` when even the maximum client count missed the utilization
+    /// target — the I/O-bound region (1200 W in the paper).
+    pub saturated: bool,
+    /// The measurement-grade run.
+    pub measurement: Measurement,
+    /// The final cache characterization (for coherence analyses).
+    pub characterization: Characterization,
+}
+
+/// All measured points, keyed by `(P, W)`.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    rows: BTreeMap<(u32, u32), SweepRow>,
+}
+
+impl Sweep {
+    /// Runs the full paper ladder on `system` (pass
+    /// [`SystemConfig::xeon_quad`] or [`SystemConfig::itanium2_quad`];
+    /// the `processors` field is overridden per point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/simulation errors.
+    pub fn run(system: &SystemConfig, options: &SweepOptions) -> Result<Self, odb_core::Error> {
+        Self::run_points(system, options, &paper_ladder())
+    }
+
+    /// Runs specific grid points (tests and partial regenerations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/simulation errors.
+    pub fn run_points(
+        system: &SystemConfig,
+        options: &SweepOptions,
+        points: &[ConfigPoint],
+    ) -> Result<Self, odb_core::Error> {
+        let mut rows = BTreeMap::new();
+        for &point in points {
+            let row = Self::run_point(system, options, point)?;
+            rows.insert((point.processors, point.warehouses), row);
+        }
+        Ok(Self { rows })
+    }
+
+    /// Client search + measurement for one point.
+    fn run_point(
+        system: &SystemConfig,
+        options: &SweepOptions,
+        point: ConfigPoint,
+    ) -> Result<SweepRow, odb_core::Error> {
+        let sys = system.clone().with_processors(point.processors);
+        let probe_util = |clients: u32| -> Result<f64, odb_core::Error> {
+            let config = OltpConfig::new(
+                WorkloadConfig::new(point.warehouses, clients)?,
+                sys.clone(),
+            )?;
+            let m = OdbSimulator::new(config, options.probe.clone())?.run()?;
+            Ok(m.cpu_utilization)
+        };
+
+        // The grid is ascending and utilization is monotone in clients to
+        // within noise: binary-search the grid for the first count that
+        // reaches the target.
+        let mut lo = 0usize;
+        let mut hi = CLIENT_GRID.len() - 1;
+        let mut best: Option<u32> = None;
+        if probe_util(CLIENT_GRID[hi])? >= options.utilization_target {
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if probe_util(CLIENT_GRID[mid])? >= options.utilization_target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            // One grid step of headroom absorbs the fidelity gap between
+            // the fast probe and the measurement-grade run (and mirrors
+            // how the paper's operators provision clients: comfortably
+            // above, not at, the 90% knife edge).
+            best = Some(CLIENT_GRID[(hi + 1).min(CLIENT_GRID.len() - 1)]);
+        }
+        let (clients, saturated) = match best {
+            Some(c) => (c, false),
+            None => (*CLIENT_GRID.last().expect("grid nonempty"), true),
+        };
+
+        let config = OltpConfig::new(
+            WorkloadConfig::new(point.warehouses, clients)?,
+            sys.clone(),
+        )?;
+        let artifacts = OdbSimulator::new(config, options.measure.clone())?.run_detailed()?;
+        Ok(SweepRow {
+            point,
+            clients,
+            saturated,
+            measurement: artifacts.measurement,
+            characterization: artifacts.characterization,
+        })
+    }
+
+    /// Assembles a sweep from pre-computed rows (testing, replaying saved
+    /// results).
+    pub fn from_rows(rows: Vec<SweepRow>) -> Self {
+        Self {
+            rows: rows
+                .into_iter()
+                .map(|r| ((r.point.processors, r.point.warehouses), r))
+                .collect(),
+        }
+    }
+
+    /// The row for `(processors, warehouses)`, if measured.
+    pub fn row(&self, processors: u32, warehouses: u32) -> Option<&SweepRow> {
+        self.rows.get(&(processors, warehouses))
+    }
+
+    /// Rows for one processor count, ascending in `W`.
+    pub fn rows_for(&self, processors: u32) -> Vec<&SweepRow> {
+        self.rows
+            .range((processors, 0)..(processors + 1, 0))
+            .map(|(_, row)| row)
+            .collect()
+    }
+
+    /// All rows in `(P, W)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.values()
+    }
+
+    /// Number of measured points.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when nothing was measured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small end-to-end sweep exercises the search and projections.
+    /// Kept tiny: full-ladder sweeps live in the CLI and benches.
+    #[test]
+    fn mini_sweep_finds_clients_and_measures() {
+        let points = [
+            ConfigPoint {
+                warehouses: 10,
+                processors: 1,
+            },
+            ConfigPoint {
+                warehouses: 10,
+                processors: 2,
+            },
+        ];
+        let sweep =
+            Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points)
+                .unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert!(!sweep.is_empty());
+        let row = sweep.row(1, 10).expect("measured");
+        assert!(row.clients >= 1);
+        assert!(!row.saturated, "10 W is CPU-bound, not I/O-bound");
+        assert!(row.measurement.cpu_utilization >= 0.90);
+        assert!(row.measurement.transactions > 0);
+        // rows_for returns the P=1 block only.
+        assert_eq!(sweep.rows_for(1).len(), 1);
+        assert_eq!(sweep.rows_for(2).len(), 1);
+        assert_eq!(sweep.rows_for(4).len(), 0);
+        // 2P needs at least as many clients as 1P (Table 1's trend).
+        let row2 = sweep.row(2, 10).unwrap();
+        assert!(row2.clients >= row.clients);
+    }
+}

@@ -1,0 +1,382 @@
+//! Automatic paper-vs-measured scoring.
+//!
+//! EXPERIMENTS.md's verdict table, computed from a live sweep against the
+//! published anchors in [`odb_core::paper`]: each check names the claim,
+//! the paper's number, the measured number and whether the measurement
+//! falls inside the acceptance band. `odb-experiments scorecard` prints
+//! it; the integration suite asserts the core rows.
+
+use crate::figures;
+use crate::report::TextTable;
+use crate::runner::Sweep;
+use odb_core::paper;
+
+/// One scored claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Which claim (short name).
+    pub name: String,
+    /// The paper's value, rendered.
+    pub published: String,
+    /// Our value, rendered.
+    pub measured: String,
+    /// Acceptance criterion, rendered.
+    pub band: String,
+    /// Did the measurement pass?
+    pub pass: bool,
+}
+
+/// Scores the sweep against every quantitative anchor the paper prints.
+///
+/// # Errors
+///
+/// Propagates fitting errors from the pivot computations.
+pub fn scorecard(sweep: &Sweep) -> Result<Vec<Check>, odb_core::Error> {
+    let mut checks = Vec::new();
+
+    // Table 5: pivot points per processor count, within a 25% band (the
+    // paper's own CPI-vs-MPI pivots differ by more than that at 1P).
+    // Processor counts absent from the sweep are skipped, not fatal.
+    for published in paper::TABLE5 {
+        let Ok(cpi) = figures::fig17(sweep, published.processors) else {
+            continue;
+        };
+        if let Some((x, _)) = cpi.pivot {
+            checks.push(Check {
+                name: format!("Table 5: {}P CPI pivot (W)", published.processors),
+                published: published.cpi.to_string(),
+                measured: format!("{x:.0}"),
+                band: "±25%".into(),
+                pass: paper::within_band(x, published.cpi as f64, 0.25),
+            });
+        }
+        let Ok(mpi) = figures::fig18(sweep, published.processors) else {
+            continue;
+        };
+        if let Some((x, _)) = mpi.pivot {
+            checks.push(Check {
+                name: format!("Table 5: {}P MPI pivot (W)", published.processors),
+                published: published.mpi.to_string(),
+                measured: format!("{x:.0}"),
+                band: "±35%".into(),
+                pass: paper::within_band(x, published.mpi as f64, 0.35),
+            });
+        }
+    }
+
+    // "All the pivot points are below 150 warehouses."
+    let mut all_below = true;
+    let mut max_pivot: f64 = 0.0;
+    for p in [1u32, 2, 4] {
+        for fit in [figures::fig17(sweep, p), figures::fig18(sweep, p)]
+            .into_iter()
+            .flatten()
+        {
+            if let Some((x, _)) = fit.pivot {
+                max_pivot = max_pivot.max(x);
+                all_below &= x < 150.0;
+            }
+        }
+    }
+    checks.push(Check {
+        name: "§6.2: every pivot below 150 W".into(),
+        published: "< 150".into(),
+        measured: format!("max {max_pivot:.0}"),
+        band: "strict".into(),
+        pass: all_below,
+    });
+
+    // §5.2: L3 misses ≈ 60% of CPI. Score the mid-range (100–300 W, 4P).
+    if let Some(row) = sweep.row(4, 100) {
+        let m = &row.measurement;
+        let counts = m.total();
+        let b = odb_core::breakdown::CpiBreakdown::compute(
+            &counts,
+            &odb_core::breakdown::StallCosts::xeon(),
+            m.bus_transaction_cycles,
+        )?;
+        let share = b.fraction(odb_core::breakdown::Component::L3);
+        checks.push(Check {
+            name: "§5.2: L3 share of CPI at 100 W, 4P".into(),
+            published: format!("{:.0}%", paper::L3_CPI_SHARE * 100.0),
+            measured: format!("{:.0}%", share * 100.0),
+            band: "±20% abs".into(),
+            pass: (share - paper::L3_CPI_SHARE).abs() < 0.20,
+        });
+    }
+
+    // §4.3: ~6 KB of redo per transaction, everywhere.
+    let mut log_ok = true;
+    let mut log_min = f64::INFINITY;
+    let mut log_max: f64 = 0.0;
+    for row in sweep.iter() {
+        let kb = row.measurement.io_per_txn.log_write_kb;
+        log_min = log_min.min(kb);
+        log_max = log_max.max(kb);
+        log_ok &= paper::within_band(kb * 1024.0, paper::LOG_BYTES_PER_TXN, 0.25);
+    }
+    checks.push(Check {
+        name: "§4.3: redo ≈ 6 KB/txn, all configs".into(),
+        published: "6.0 KB".into(),
+        measured: format!("{log_min:.1}–{log_max:.1} KB"),
+        band: "±25%".into(),
+        pass: log_ok,
+    });
+
+    // Fig 16 / §7: bus utilization ~45% on 4P at scale, < 30% on 2P.
+    if let (Some(r4), Some(r2)) = (sweep.row(4, 800), sweep.row(2, 800)) {
+        let u4 = r4.measurement.bus_utilization;
+        let u2 = r2.measurement.bus_utilization;
+        checks.push(Check {
+            name: "§7: 4P bus utilization at 800 W".into(),
+            published: format!("≈{:.0}%", paper::BUS_UTILIZATION_4P * 100.0),
+            measured: format!("{:.0}%", u4 * 100.0),
+            band: "±15% abs".into(),
+            pass: (u4 - paper::BUS_UTILIZATION_4P).abs() < 0.15,
+        });
+        checks.push(Check {
+            name: "§5.2: 2P bus utilization stays under 30%".into(),
+            published: format!("< {:.0}%", paper::BUS_UTILIZATION_2P_MAX * 100.0),
+            measured: format!("{:.0}%", u2 * 100.0),
+            band: "strict".into(),
+            pass: u2 < paper::BUS_UTILIZATION_2P_MAX,
+        });
+    }
+
+    // Table 3 baseline: 1P IOQ time near 102 cycles across W.
+    let ioq_1p: Vec<f64> = sweep
+        .rows_for(1)
+        .iter()
+        .map(|r| r.measurement.bus_transaction_cycles)
+        .collect();
+    if !ioq_1p.is_empty() {
+        let max = ioq_1p.iter().cloned().fold(0.0f64, f64::max);
+        checks.push(Check {
+            name: "Table 3: 1P IOQ time near the 102-cycle baseline".into(),
+            published: "102".into(),
+            measured: format!("≤ {max:.0}"),
+            band: "+15%".into(),
+            pass: max < paper::BUS_TRANSACTION_1P_CYCLES * 1.15,
+        });
+    }
+
+    // Fig 13: MPI must not scale with P (coherence negligible).
+    if let (Some(r1), Some(r4)) = (sweep.row(1, 100), sweep.row(4, 100)) {
+        let ratio = r4.measurement.mpi() / r1.measurement.mpi().max(1e-12);
+        checks.push(Check {
+            name: "Fig 13: MPI(4P)/MPI(1P) at 100 W".into(),
+            published: "≈1.0".into(),
+            measured: format!("{ratio:.2}"),
+            band: "< 1.25".into(),
+            pass: ratio < 1.25,
+        });
+    }
+
+    // Fig 5: user IPX flat across the grid.
+    let mut user_min = f64::INFINITY;
+    let mut user_max: f64 = 0.0;
+    for row in sweep.iter() {
+        let v = row.measurement.ipx_user();
+        if v > 0.0 {
+            user_min = user_min.min(v);
+            user_max = user_max.max(v);
+        }
+    }
+    if user_max > 0.0 {
+        let spread = (user_max - user_min) / user_max;
+        checks.push(Check {
+            name: "Fig 5: user IPX flat across all configs".into(),
+            published: "flat".into(),
+            measured: format!("spread {:.1}%", spread * 100.0),
+            band: "< 15%".into(),
+            pass: spread < 0.15,
+        });
+    }
+
+    Ok(checks)
+}
+
+/// Renders the checks as a table (✔/✘ verdicts).
+pub fn render(checks: &[Check]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "claim".into(),
+        "paper".into(),
+        "measured".into(),
+        "band".into(),
+        "verdict".into(),
+    ]);
+    for c in checks {
+        t.row(vec![
+            c.name.clone(),
+            c.published.clone(),
+            c.measured.clone(),
+            c.band.clone(),
+            if c.pass { "pass" } else { "MISS" }.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::ConfigPoint;
+    use crate::runner::SweepRow;
+    use odb_core::metrics::{IoPerTxn, Measurement, SpaceCounts};
+    use odb_memsim::hierarchy::HierarchyCounts;
+    use odb_memsim::rates::{EventRates, SpaceRates};
+    use odb_memsim::trace::Characterization;
+
+    /// A paper-perfect synthetic sweep: every check should pass.
+    fn perfect_sweep() -> Sweep {
+        let mut rows = Vec::new();
+        for &p in &[1u32, 2, 4] {
+            for &w in &crate::ladder::TREND_WAREHOUSES {
+                let wf = w as f64;
+                let published = paper::TABLE5
+                    .iter()
+                    .find(|r| r.processors == p)
+                    .unwrap();
+                let knee = published.cpi as f64;
+                let cpi = if wf <= knee {
+                    2.5 + 0.015 * wf
+                } else {
+                    2.5 + 0.015 * knee + 0.0015 * (wf - knee)
+                } + 0.2 * (p as f64 - 1.0);
+                let mpi_knee = published.mpi as f64;
+                let mpi = (if wf <= mpi_knee {
+                    4.0 + 0.04 * wf
+                } else {
+                    4.0 + 0.04 * mpi_knee + 0.004 * (wf - mpi_knee)
+                }) * 1e-3;
+                let instr_u = 10_000_000_000u64;
+                let instr_o = (1_000_000_000.0 + 2_000_000.0 * wf) as u64;
+                let total_instr = (instr_u + instr_o) as f64;
+                // Put ~60% of CPI into L3 misses at the standard cost.
+                let bus_cycles = 102.0 + 10.0 * (p as f64 - 1.0);
+                let l3_cost = 300.0 + (bus_cycles - 102.0);
+                let l3 = (total_instr * mpi) as u64;
+                let cycles_total = (total_instr * cpi) as u64;
+                let txns = 10_000u64;
+                rows.push(SweepRow {
+                    point: ConfigPoint {
+                        warehouses: w,
+                        processors: p,
+                    },
+                    clients: 8 * p,
+                    saturated: false,
+                    measurement: Measurement {
+                        warehouses: w,
+                        clients: 8 * p,
+                        processors: p,
+                        elapsed_seconds: 10.0,
+                        transactions: txns,
+                        user: SpaceCounts {
+                            instructions: instr_u,
+                            cycles: (cycles_total as f64 * instr_u as f64 / total_instr)
+                                as u64,
+                            l3_misses: (l3 as f64 * instr_u as f64 / total_instr) as u64,
+                            l2_misses: (l3 as f64 * 2.0 * instr_u as f64 / total_instr)
+                                as u64,
+                            tc_misses: instr_u / 200,
+                            tlb_misses: instr_u / 500,
+                            branch_mispredictions: instr_u / 250,
+                        },
+                        os: SpaceCounts {
+                            instructions: instr_o,
+                            cycles: (cycles_total as f64 * instr_o as f64 / total_instr)
+                                as u64,
+                            l3_misses: (l3 as f64 * instr_o as f64 / total_instr) as u64,
+                            l2_misses: (l3 as f64 * 2.0 * instr_o as f64 / total_instr)
+                                as u64,
+                            tc_misses: instr_o / 200,
+                            tlb_misses: instr_o / 500,
+                            branch_mispredictions: instr_o / 250,
+                        },
+                        cpu_utilization: 0.95,
+                        os_busy_fraction: 0.12,
+                        io_per_txn: IoPerTxn {
+                            read_kb: 0.02 * wf,
+                            log_write_kb: 5.9,
+                            page_write_kb: if w >= 50 { 5.0 } else { 0.0 },
+                        },
+                        disk_reads_per_txn: 0.0025 * wf,
+                        context_switches_per_txn: 1.0 + 0.003 * wf,
+                        bus_utilization: match p {
+                            1 => 0.12,
+                            2 => 0.25,
+                            _ => 0.44,
+                        },
+                        bus_transaction_cycles: bus_cycles,
+                    },
+                    characterization: Characterization {
+                        rates: EventRates {
+                            user: zero_rates(),
+                            os: zero_rates(),
+                        },
+                        user_counts: HierarchyCounts::default(),
+                        os_counts: HierarchyCounts::default(),
+                        coherence_invalidations: 0,
+                        instructions: 0,
+                    },
+                });
+                let _ = l3_cost;
+            }
+        }
+        Sweep::from_rows(rows)
+    }
+
+    fn zero_rates() -> SpaceRates {
+        SpaceRates {
+            tc_miss: 0.0,
+            l2_miss: 0.0,
+            l3_miss: 0.0,
+            l3_coherence_miss: 0.0,
+            l3_writeback: 0.0,
+            tlb_miss: 0.0,
+            branch_mispred: 0.0,
+            other_stall_cpi: 0.0,
+        }
+    }
+
+    #[test]
+    fn perfect_sweep_passes_the_pivot_and_flatness_checks() {
+        let checks = scorecard(&perfect_sweep()).unwrap();
+        assert!(checks.len() >= 10, "got {} checks", checks.len());
+        let by_name = |needle: &str| {
+            checks
+                .iter()
+                .find(|c| c.name.contains(needle))
+                .unwrap_or_else(|| panic!("check {needle} missing"))
+        };
+        assert!(by_name("4P CPI pivot").pass, "{:?}", by_name("4P CPI pivot"));
+        assert!(by_name("below 150 W").pass);
+        assert!(by_name("user IPX flat").pass);
+        assert!(by_name("redo").pass);
+        assert!(by_name("2P bus utilization").pass);
+        assert!(by_name("MPI(4P)/MPI(1P)").pass);
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let checks = vec![
+            Check {
+                name: "a".into(),
+                published: "1".into(),
+                measured: "1".into(),
+                band: "±10%".into(),
+                pass: true,
+            },
+            Check {
+                name: "b".into(),
+                published: "1".into(),
+                measured: "9".into(),
+                band: "±10%".into(),
+                pass: false,
+            },
+        ];
+        let s = render(&checks).render();
+        assert!(s.contains("pass"));
+        assert!(s.contains("MISS"));
+    }
+}

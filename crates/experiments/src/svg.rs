@@ -1,0 +1,278 @@
+//! SVG line charts for the HTML report.
+//!
+//! Self-contained (no scripts, no external assets): each chart is one
+//! `<svg>` element with axes, gridlines, per-series polylines with point
+//! markers, and a legend. Colors follow a fixed six-slot palette keyed
+//! by series order, so `1P`/`2P`/`4P` are consistent across figures.
+
+use odb_core::series::Series;
+use std::fmt::Write as _;
+
+/// Chart dimensions and margins, in SVG user units (pixels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Total width.
+    pub width: f64,
+    /// Total height.
+    pub height: f64,
+    /// Margin reserved for axis labels (left/bottom) and padding.
+    pub margin: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 640.0,
+            height: 360.0,
+            margin: 56.0,
+        }
+    }
+}
+
+/// The series color palette (colorblind-friendly hues).
+const PALETTE: [&str; 6] = [
+    "#3b6fb6", // blue
+    "#d1495b", // red
+    "#2e8b57", // green
+    "#8a6fb8", // purple
+    "#c98a2b", // ochre
+    "#4c4c4c", // gray
+];
+
+/// Escapes text for inclusion in SVG/HTML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders labelled series as one `<svg>` line chart.
+///
+/// Degenerate inputs (no finite points) render an "(no data)" placeholder
+/// SVG rather than failing.
+pub fn line_chart(title: &str, x_label: &str, series: &[Series], options: SvgOptions) -> String {
+    let w = options.width;
+    let h = options.height;
+    let m = options.margin;
+    let plot_w = (w - 1.8 * m).max(10.0);
+    let plot_h = (h - 2.0 * m).max(10.0);
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points().iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"##
+    );
+    let _ = write!(
+        out,
+        r##"<text x="{}" y="18" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"##,
+        w / 2.0,
+        escape(title)
+    );
+    if points.is_empty() {
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" text-anchor="middle">(no data)</text></svg>"##,
+            w / 2.0,
+            h / 2.0
+        );
+        return out;
+    }
+
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    if min_y > 0.0 && min_y < 0.5 * max_y {
+        min_y = 0.0; // anchor at zero when the data starts low
+    }
+    if (max_y - min_y).abs() < f64::EPSILON {
+        max_y += 1.0;
+        min_y -= 1.0;
+    }
+    if (max_x - min_x).abs() < f64::EPSILON {
+        max_x += 1.0;
+    }
+    let sx = |x: f64| m + (x - min_x) / (max_x - min_x) * plot_w;
+    let sy = |y: f64| m / 2.0 + plot_h - (y - min_y) / (max_y - min_y) * plot_h;
+
+    // Gridlines + y tick labels (five divisions).
+    for i in 0..=4 {
+        let frac = i as f64 / 4.0;
+        let y_val = min_y + frac * (max_y - min_y);
+        let py = sy(y_val);
+        let _ = write!(
+            out,
+            r##"<line x1="{}" y1="{py}" x2="{}" y2="{py}" stroke="#ddd" stroke-width="1"/>"##,
+            m,
+            m + plot_w
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" text-anchor="end">{}</text>"##,
+            m - 6.0,
+            py + 4.0,
+            format_tick(y_val)
+        );
+    }
+    // X ticks at each distinct x.
+    let mut xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup();
+    for &x in &xs {
+        let px = sx(x);
+        let _ = write!(
+            out,
+            r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#eee" stroke-width="1"/>"##,
+            m / 2.0,
+            m / 2.0 + plot_h
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{px}" y="{}" text-anchor="middle">{}</text>"##,
+            m / 2.0 + plot_h + 16.0,
+            format_tick(x)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        out,
+        r##"<rect x="{}" y="{}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#555"/>"##,
+        m,
+        m / 2.0
+    );
+    let _ = write!(
+        out,
+        r##"<text x="{}" y="{}" text-anchor="middle" font-style="italic">{}</text>"##,
+        m + plot_w / 2.0,
+        h - 8.0,
+        escape(x_label)
+    );
+
+    // Series polylines + markers + legend.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points()
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        let _ = write!(
+            out,
+            r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+            path.join(" ")
+        );
+        for &(x, y) in &pts {
+            let _ = write!(
+                out,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                sx(x),
+                sy(y)
+            );
+        }
+        let lx = m + plot_w + 8.0;
+        let ly = m / 2.0 + 14.0 + 18.0 * si as f64;
+        let _ = write!(
+            out,
+            r##"<rect x="{lx}" y="{}" width="10" height="10" fill="{color}"/>"##,
+            ly - 9.0
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{ly}">{}</text>"##,
+            lx + 14.0,
+            escape(s.label())
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Compact tick formatting.
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series::from_xy("1P", [10.0, 100.0, 800.0], [2.5, 3.3, 4.5]),
+            Series::from_xy("4P", [10.0, 100.0, 800.0], [2.8, 3.8, 4.9]),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = line_chart("Figure 9: CPI", "warehouses", &sample(), SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("Figure 9: CPI"));
+        assert!(svg.contains("warehouses"));
+        assert!(svg.contains("1P"));
+        assert!(svg.contains("4P"));
+        // Distinct palette slots.
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = Series::from_xy("a<b>&\"c\"", [1.0, 2.0], [1.0, 2.0]);
+        let svg = line_chart("t<i>&", "x & y", &[s], SvgOptions::default());
+        assert!(!svg.contains("<i>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(svg.contains("t&lt;i&gt;&amp;"));
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let svg = line_chart("empty", "x", &[], SvgOptions::default());
+        assert!(svg.contains("(no data)"));
+        assert!(svg.ends_with("</svg>"));
+        let nan = Series::from_xy("n", [f64::NAN], [1.0]);
+        assert!(line_chart("nan", "x", &[nan], SvgOptions::default()).contains("(no data)"));
+    }
+
+    #[test]
+    fn flat_and_single_point_series_render() {
+        let flat = Series::from_xy("flat", [1.0, 2.0, 3.0], [5.0, 5.0, 5.0]);
+        let svg = line_chart("flat", "x", &[flat], SvgOptions::default());
+        assert!(svg.contains("<polyline"));
+        let single = Series::from_xy("one", [7.0], [3.0]);
+        let svg2 = line_chart("one", "x", &[single], SvgOptions::default());
+        assert!(svg2.contains("<circle"));
+    }
+
+    #[test]
+    fn ticks_format_compactly() {
+        assert_eq!(format_tick(800.0), "800");
+        assert_eq!(format_tick(1200.0), "1200");
+        assert_eq!(format_tick(4.944), "4.94");
+        assert_eq!(format_tick(13.37), "13.4");
+    }
+}

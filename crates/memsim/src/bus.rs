@@ -1,0 +1,164 @@
+//! The shared front-side bus and its in-order queue (IOQ) latency model
+//! (§5.2, Fig 16).
+//!
+//! Every L3 miss, dirty writeback and DMA block transfer occupies the
+//! shared bus for a fixed number of cycles. The *IOQ latency* — the time
+//! for one transaction to complete once queued — is the unloaded latency
+//! plus an M/M/1-style waiting term driven by bus utilization:
+//!
+//! ```text
+//! ioq(ρ) = base + occupancy × ρ / (1 − ρ)
+//! ```
+//!
+//! This is why CPI grows with `P` even though MPI does not (Figs 9 vs 13):
+//! more processors push utilization up, which stretches every L3 miss.
+
+use odb_core::config::BusConfig;
+
+/// Utilization ceiling: queueing delay is clamped at this load so that a
+/// transient overload cannot produce unbounded latencies in one window.
+const RHO_MAX: f64 = 0.95;
+
+/// The front-side-bus model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsbModel {
+    config: BusConfig,
+}
+
+/// One measurement window's bus-level observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusWindow {
+    /// Bus transactions issued during the window.
+    pub transactions: u64,
+    /// Window length in CPU cycles (per-CPU clock, not multiplied by `P`).
+    pub window_cycles: f64,
+}
+
+impl FsbModel {
+    /// Creates a model from validated bus parameters.
+    pub fn new(config: BusConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> BusConfig {
+        self.config
+    }
+
+    /// Bus utilization for a window: occupancy-cycles demanded over cycles
+    /// available, clamped to `[0, RHO_MAX]`.
+    ///
+    /// The bus is a single shared resource, so the denominator is the
+    /// window length regardless of processor count — more CPUs simply
+    /// generate more transactions into the same window.
+    pub fn utilization(&self, window: BusWindow) -> f64 {
+        if window.window_cycles <= 0.0 {
+            return 0.0;
+        }
+        let demand = window.transactions as f64 * self.config.occupancy_cycles;
+        (demand / window.window_cycles).clamp(0.0, RHO_MAX)
+    }
+
+    /// IOQ latency in cycles at utilization `rho`.
+    ///
+    /// At `rho = 0` this is the unloaded latency (102 cycles on the
+    /// paper's machine, Table 3); it grows hyperbolically as the bus
+    /// saturates.
+    pub fn ioq_latency(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, RHO_MAX);
+        self.config.base_transaction_cycles + self.config.occupancy_cycles * rho / (1.0 - rho)
+    }
+
+    /// Convenience: utilization and latency for a window in one call.
+    pub fn observe(&self, window: BusWindow) -> BusObservation {
+        let utilization = self.utilization(window);
+        BusObservation {
+            utilization,
+            ioq_latency_cycles: self.ioq_latency(utilization),
+        }
+    }
+}
+
+/// Derived bus metrics for one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusObservation {
+    /// Fraction of time the bus transferred data, `[0, RHO_MAX]`.
+    pub utilization: f64,
+    /// Mean cycles to complete a transaction once in the IOQ.
+    pub ioq_latency_cycles: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon_bus() -> FsbModel {
+        FsbModel::new(BusConfig {
+            base_transaction_cycles: 102.0,
+            occupancy_cycles: 58.0,
+        })
+    }
+
+    #[test]
+    fn unloaded_latency_is_base() {
+        let m = xeon_bus();
+        assert_eq!(m.ioq_latency(0.0), 102.0);
+        assert_eq!(m.config().base_transaction_cycles, 102.0);
+    }
+
+    #[test]
+    fn latency_grows_monotonically_with_load() {
+        let m = xeon_bus();
+        let mut last = 0.0;
+        for i in 0..=19 {
+            let rho = i as f64 * 0.05;
+            let l = m.ioq_latency(rho);
+            assert!(l > last, "latency must grow with rho");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn paper_scale_latencies() {
+        let m = xeon_bus();
+        // ~30% utilization (2P): modest inflation.
+        let l2p = m.ioq_latency(0.30);
+        assert!(l2p > 120.0 && l2p < 130.0, "2P-like latency {l2p}");
+        // ~45% utilization (4P): dramatic inflation per Fig 16.
+        let l4p = m.ioq_latency(0.45);
+        assert!(l4p > 145.0 && l4p < 155.0, "4P-like latency {l4p}");
+    }
+
+    #[test]
+    fn utilization_from_window() {
+        let m = xeon_bus();
+        // 1000 transactions × 58 cycles over 116_000 cycles = 0.5.
+        let w = BusWindow {
+            transactions: 1000,
+            window_cycles: 116_000.0,
+        };
+        assert!((m.utilization(w) - 0.5).abs() < 1e-12);
+        let obs = m.observe(w);
+        assert!((obs.utilization - 0.5).abs() < 1e-12);
+        assert!((obs.ioq_latency_cycles - (102.0 + 58.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_is_clamped() {
+        let m = xeon_bus();
+        let w = BusWindow {
+            transactions: u64::MAX / 2,
+            window_cycles: 1.0,
+        };
+        let rho = m.utilization(w);
+        assert_eq!(rho, RHO_MAX);
+        assert!(m.ioq_latency(2.0).is_finite());
+        assert_eq!(m.ioq_latency(2.0), m.ioq_latency(RHO_MAX));
+    }
+
+    #[test]
+    fn empty_window_is_idle() {
+        let m = xeon_bus();
+        assert_eq!(m.utilization(BusWindow::default()), 0.0);
+    }
+}

@@ -1,0 +1,526 @@
+//! Set-associative, write-back caches with pluggable replacement
+//! (true-LRU by default; see [`crate::policy`] for the alternatives the
+//! paper's §7 caching-scheme agenda motivates).
+
+use crate::policy::{PolicyState, ReplacementPolicy};
+use odb_core::config::CacheGeometry;
+
+/// A victim line displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line-aligned address of the victim.
+    pub addr: u64,
+    /// `true` when the victim was modified and must be written back.
+    pub dirty: bool,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss {
+        /// The valid line displaced by the fill, if the set was full.
+        /// Clean evictions matter too: the coherence directory must stop
+        /// tracking the evicting processor as a holder.
+        evicted: Option<Evicted>,
+        /// `true` when the miss was caused by an earlier coherence
+        /// invalidation of this very line (as opposed to cold/capacity).
+        coherence: bool,
+    },
+}
+
+impl Access {
+    /// `true` for [`Access::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Access::Hit)
+    }
+
+    /// The dirty victim's address, if this was a miss that wrote one back.
+    pub fn dirty_writeback(&self) -> Option<u64> {
+        match self {
+            Access::Miss {
+                evicted: Some(e), ..
+            } if e.dirty => Some(e.addr),
+            _ => None,
+        }
+    }
+}
+
+/// Running hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses of any kind.
+    pub misses: u64,
+    /// Misses attributable to coherence invalidations.
+    pub coherence_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Lines invalidated by the coherence directory.
+    pub invalidations_received: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses > 0 {
+            self.misses as f64 / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp; larger is more recent.
+    stamp: u64,
+}
+
+/// One set-associative cache level.
+///
+/// Addresses are byte addresses; the cache derives line/set indices from
+/// its [`CacheGeometry`]. Replacement is true LRU within a set. The cache
+/// is write-allocate, write-back.
+///
+/// ```
+/// use odb_core::config::CacheGeometry;
+/// use odb_memsim::cache::SetAssocCache;
+///
+/// let mut c = SetAssocCache::new(CacheGeometry::new(4096, 64, 2)?);
+/// assert!(!c.access(0, false).is_hit()); // cold miss
+/// assert!(c.access(0, false).is_hit());  // now resident
+/// # Ok::<(), odb_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<Line>,
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+    clock: u64,
+    stats: CacheStats,
+    policy: PolicyState,
+    /// Line addresses lost to coherence invalidations and not yet
+    /// re-fetched; used to classify the next miss on them.
+    invalidated: std::collections::HashSet<u64>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry and true-LRU
+    /// replacement.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self::with_policy(geometry, ReplacementPolicy::Lru)
+    }
+
+    /// Creates an empty cache with an explicit replacement policy.
+    pub fn with_policy(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let ways = geometry.associativity() as usize;
+        let sets = geometry.sets() as usize;
+        Self {
+            geometry,
+            sets: vec![Line::default(); sets * ways],
+            ways,
+            set_mask: geometry.sets() - 1,
+            line_shift: geometry.line_bytes().trailing_zeros(),
+            clock: 0,
+            stats: CacheStats::default(),
+            policy: PolicyState::new(policy),
+            invalidated: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy.policy()
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. after a warm-up phase) without disturbing
+    /// cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn set_index(&self, line_number: u64) -> usize {
+        (line_number & self.set_mask) as usize
+    }
+
+    /// Accesses `addr` (read or write) and returns the outcome, updating
+    /// LRU state and statistics.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        if self.policy.should_clear_stamps() {
+            for line in &mut self.sets {
+                line.stamp = 0;
+            }
+        }
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.geometry.sets().trailing_zeros();
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        let clock = self.clock;
+        let touch = self.policy.touch_stamp(clock);
+        let ways = &mut self.sets[base..base + self.ways];
+
+        // Hit path.
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            if let Some(stamp) = touch {
+                line.stamp = stamp;
+            }
+            line.dirty |= write;
+            return Access::Hit;
+        }
+
+        // Miss: classify, then fill via the policy's victim (minimum
+        // stamp among valid lines; invalid lines are always preferred).
+        self.stats.misses += 1;
+        let line_addr = line_number << self.line_shift;
+        let coherence = self.invalidated.remove(&line_addr);
+        if coherence {
+            self.stats.coherence_misses += 1;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.stamp))
+            .expect("associativity is nonzero");
+        let mut evicted = None;
+        if victim.valid {
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            let victim_line = (victim.tag << self.geometry.sets().trailing_zeros()
+                | set as u64)
+                << self.line_shift;
+            evicted = Some(Evicted {
+                addr: victim_line,
+                dirty: victim.dirty,
+            });
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.policy.fill_stamp(clock),
+        };
+        Access::Miss { evicted, coherence }
+    }
+
+    /// `true` when the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.geometry.sets().trailing_zeros();
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        self.sets[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` (a coherence action from a
+    /// remote writer). Returns `true` if the line was resident.
+    ///
+    /// The next miss on the same line is classified as a coherence miss.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.geometry.sets().trailing_zeros();
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        if let Some(line) = self.sets[base..base + self.ways]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.valid = false;
+            line.dirty = false;
+            self.stats.invalidations_received += 1;
+            self.invalidated.insert(line_number << self.line_shift);
+            // Bound the classification set; correctness does not depend on
+            // it and coherence traffic is rare by design.
+            if self.invalidated.len() > 1 << 16 {
+                self.invalidated.clear();
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odb_core::config::CacheGeometry;
+    use proptest::prelude::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        SetAssocCache::new(CacheGeometry::new(512, 64, 2).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).is_hit());
+        assert!(c.access(0x1000, false).is_hit());
+        assert!(c.access(0x103F, false).is_hit(), "same 64 B line");
+        assert!(!c.access(0x1040, false).is_hit(), "next line");
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets × line = 256 B).
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        c.access(0x0000, false); // refresh line A
+        c.access(0x0200, false); // evicts B (LRU)
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0100));
+        assert!(c.contains(0x0200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x0000, true); // dirty A
+        c.access(0x0100, false);
+        let access = c.access(0x0200, false);
+        assert_eq!(access.dirty_writeback(), Some(0x0000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_reports_victim_without_writeback() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        match c.access(0x0200, false) {
+            Access::Miss {
+                evicted: Some(e), ..
+            } => {
+                assert_eq!(e.addr, 0x0000);
+                assert!(!e.dirty);
+            }
+            other => panic!("expected clean eviction, got {other:?}"),
+        }
+        // Cold fill into a non-full set evicts nothing.
+        let mut c2 = small();
+        match c2.access(0x0000, false) {
+            Access::Miss { evicted: None, .. } => {}
+            other => panic!("expected no victim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidation_classifies_next_miss_as_coherence() {
+        let mut c = small();
+        c.access(0x0000, false);
+        assert!(c.invalidate(0x0000));
+        assert!(!c.invalidate(0x0000), "already gone");
+        match c.access(0x0000, false) {
+            Access::Miss {
+                coherence: true, ..
+            } => {}
+            other => panic!("expected coherence miss, got {other:?}"),
+        }
+        let s = c.stats();
+        assert_eq!(s.coherence_misses, 1);
+        assert_eq!(s.invalidations_received, 1);
+        // Re-fetched line misses later are NOT coherence misses.
+        c.access(0x0100, false);
+        c.access(0x0200, false); // evicts 0x0000 by capacity eventually
+        match c.access(0x0000, false) {
+            Access::Hit => {}
+            Access::Miss { coherence, .. } => assert!(!coherence),
+        }
+    }
+
+    #[test]
+    fn write_marks_line_dirty_on_hit_too() {
+        let mut c = small();
+        c.access(0x0000, false); // clean fill
+        c.access(0x0000, true); // dirtied by hit
+        c.access(0x0100, false);
+        let access = c.access(0x0200, false);
+        assert!(
+            access.dirty_writeback().is_some(),
+            "hit-write should dirty the line, got {access:?}"
+        );
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0x0000, false).is_hit(), "contents survive");
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = small();
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+        assert_eq!(c.line_addr(0x1240), 0x1240);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        // 32 KB 8-way: hold a 16 KB working set with zero steady misses.
+        let mut c = SetAssocCache::new(CacheGeometry::new(32 << 10, 64, 8).unwrap());
+        let lines: Vec<u64> = (0..256).map(|i| i * 64).collect();
+        for &a in &lines {
+            c.access(a, false);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &a in &lines {
+                assert!(c.access(a, false).is_hit());
+            }
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        // 4 KB direct-ish cache cyclically scanning 8 KB misses every time.
+        let mut c = SetAssocCache::new(CacheGeometry::new(4 << 10, 64, 1).unwrap());
+        let lines: Vec<u64> = (0..128).map(|i| i * 64).collect();
+        for _ in 0..3 {
+            for &a in &lines {
+                c.access(a, false);
+            }
+        }
+        assert!(
+            c.stats().miss_ratio() > 0.99,
+            "cyclic scan over 2x capacity under LRU thrashes"
+        );
+    }
+
+    #[test]
+    fn policies_behave_differently_under_streaming() {
+        use crate::policy::ReplacementPolicy;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // A hot set that fits (32 lines) mixed with a cold stream that
+        // does not: judicious policies keep the hot set resident.
+        let geometry = CacheGeometry::new(4 << 10, 64, 4).unwrap(); // 64 lines
+        let miss_ratio = |policy: ReplacementPolicy| {
+            let mut c = SetAssocCache::with_policy(geometry, policy);
+            let mut rng = SmallRng::seed_from_u64(77);
+            let mut hot_misses = 0u64;
+            let mut hot_refs = 0u64;
+            for i in 0..200_000u64 {
+                if rng.gen_bool(0.5) {
+                    let hot = (i * 2_654_435_761 % 32) * 64;
+                    hot_refs += 1;
+                    if !c.access(hot, false).is_hit() {
+                        hot_misses += 1;
+                    }
+                } else {
+                    // Cold stream: fresh line every time.
+                    c.access((1 << 20) + i * 64, false);
+                }
+            }
+            hot_misses as f64 / hot_refs as f64
+        };
+        let lru = miss_ratio(ReplacementPolicy::Lru);
+        let fifo = miss_ratio(ReplacementPolicy::Fifo);
+        let random = miss_ratio(ReplacementPolicy::Random);
+        let bip = miss_ratio(ReplacementPolicy::StreamResistant);
+        let nru = miss_ratio(ReplacementPolicy::Nru);
+        // The stream-resistant policy protects the hot set from the scan.
+        assert!(
+            bip < lru * 0.5,
+            "stream-resistant {bip:.3} should beat LRU {lru:.3} under streaming"
+        );
+        // All ratios are sane probabilities.
+        for (name, v) in [
+            ("lru", lru),
+            ("fifo", fifo),
+            ("random", random),
+            ("bip", bip),
+            ("nru", nru),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} ratio {v}");
+        }
+    }
+
+    #[test]
+    fn non_lru_policies_preserve_hit_semantics() {
+        use crate::policy::ReplacementPolicy;
+        for policy in ReplacementPolicy::ALL {
+            let mut c = SetAssocCache::with_policy(
+                CacheGeometry::new(4096, 64, 2).unwrap(),
+                policy,
+            );
+            assert_eq!(c.policy(), policy);
+            assert!(!c.access(0x40, false).is_hit(), "{policy}: cold miss");
+            assert!(c.access(0x40, false).is_hit(), "{policy}: then hit");
+            assert!(c.access(0x7F, true).is_hit(), "{policy}: same line");
+            // Invalid ways are always filled before evicting valid lines.
+            let mut c2 = SetAssocCache::with_policy(
+                CacheGeometry::new(4096, 64, 2).unwrap(),
+                policy,
+            );
+            c2.access(0x0000, false);
+            c2.access(0x1000, false); // same set, second way
+            assert!(c2.contains(0x0000), "{policy}: no premature eviction");
+            assert!(c2.contains(0x1000), "{policy}: fill used free way");
+        }
+    }
+
+    proptest! {
+        /// Accesses never panic and stats stay consistent for arbitrary
+        /// address streams.
+        #[test]
+        fn stats_consistency(
+            addrs in proptest::collection::vec((0u64..1 << 20, any::<bool>()), 1..500)
+        ) {
+            let mut c = small();
+            for &(a, w) in &addrs {
+                c.access(a, w);
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.accesses, addrs.len() as u64);
+            prop_assert!(s.misses <= s.accesses);
+            prop_assert!(s.coherence_misses <= s.misses);
+            prop_assert!(s.writebacks <= s.misses);
+        }
+
+        /// Immediately repeating an access always hits.
+        #[test]
+        fn temporal_locality_always_hits(addr in 0u64..1 << 30) {
+            let mut c = small();
+            c.access(addr, false);
+            prop_assert!(c.access(addr, false).is_hit());
+            prop_assert!(c.contains(addr));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Samplers for skewed reference streams.
+//!
+//! OLTP reference streams are highly skewed: B-tree roots, warehouse and
+//! district rows, and hot catalog items are touched orders of magnitude
+//! more often than the data tail. The [`Zipf`] sampler provides that skew;
+//! it is table-driven (exact inverse-CDF) for small domains and switches
+//! to an approximate rejection-free inversion for large ones so that a
+//! billion-page domain needs no billion-entry table.
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over `0..n` where rank 0 is the hottest.
+///
+/// ```
+/// use odb_memsim::dist::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let z = Zipf::new(1000, 0.9);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Exact inverse CDF for domains small enough to tabulate.
+    Table(Vec<f64>),
+    /// Continuous bounded-Pareto approximation for huge domains.
+    Approx {
+        s: f64,
+        /// `n^(1-s)` precomputed (for s != 1).
+        n_pow: f64,
+    },
+    /// Harmonic (s == 1) continuous approximation: inverse CDF is
+    /// `n^u - 1` scaled.
+    Harmonic { ln_n: f64 },
+}
+
+/// Domains up to this size get an exact table (8 bytes per entry).
+const TABLE_LIMIT: u64 = 1 << 20;
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to uniform; larger `s` concentrates mass on
+    /// small ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be nonempty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let repr = if n <= TABLE_LIMIT {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut total = 0.0;
+            for k in 0..n {
+                total += 1.0 / ((k + 1) as f64).powf(s);
+                cdf.push(total);
+            }
+            for v in &mut cdf {
+                *v /= total;
+            }
+            Repr::Table(cdf)
+        } else if (s - 1.0).abs() < 1e-9 {
+            Repr::Harmonic {
+                ln_n: (n as f64).ln(),
+            }
+        } else {
+            Repr::Approx {
+                s,
+                n_pow: (n as f64).powf(1.0 - s),
+            }
+        };
+        Self { n, repr }
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.repr {
+            Repr::Table(cdf) => {
+                let u: f64 = rng.gen();
+                match cdf.binary_search_by(|v| v.partial_cmp(&u).expect("cdf is finite")) {
+                    Ok(i) => i as u64,
+                    Err(i) => (i as u64).min(self.n - 1),
+                }
+            }
+            Repr::Approx { s, n_pow } => {
+                // Continuous bounded Pareto on [1, n+1): invert
+                // F(x) = (x^(1-s) - 1) / ((n+1)^(1-s) - 1).
+                let u: f64 = rng.gen();
+                let one_minus_s = 1.0 - s;
+                let x = (1.0 + u * (n_pow - 1.0)).powf(1.0 / one_minus_s);
+                ((x.floor() as u64).saturating_sub(1)).min(self.n - 1)
+            }
+            Repr::Harmonic { ln_n } => {
+                let u: f64 = rng.gen();
+                let x = (u * ln_n).exp();
+                ((x.floor() as u64).saturating_sub(1)).min(self.n - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, draws: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = vec![0u64; z.domain() as usize];
+        for _ in 0..draws {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 100_000, 7);
+        for &count in &h {
+            let p = count as f64 / 100_000.0;
+            assert!((p - 0.1).abs() < 0.01, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let h = histogram(&z, 200_000, 11);
+        assert!(h[0] > h[10], "rank 0 hotter than rank 10");
+        assert!(h[0] > h[50] * 5, "strong skew");
+        // Rank-0 mass for Zipf(100, 1) is 1/H_100 ≈ 0.1928.
+        let p0 = h[0] as f64 / 200_000.0;
+        assert!((p0 - 0.1928).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        for &(n, s) in &[(1u64, 0.9), (7, 0.5), (1000, 1.2), (1 << 22, 0.9), (1 << 22, 1.0)] {
+            let z = Zipf::new(n, s);
+            let mut rng = SmallRng::seed_from_u64(3);
+            for _ in 0..2_000 {
+                assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn large_domain_is_still_skewed() {
+        // Approximate path: top 1% of ranks should get far more than 1%
+        // of mass at s = 0.9.
+        let n = (TABLE_LIMIT + 1) * 4;
+        let z = Zipf::new(n, 0.9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cutoff = n / 100;
+        let mut hot = 0;
+        let draws = 50_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < cutoff {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / draws as f64;
+        assert!(frac > 0.3, "top-1% mass was {frac}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let z = Zipf::new(5000, 0.8);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

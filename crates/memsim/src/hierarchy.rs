@@ -1,0 +1,484 @@
+//! One processor's cache stack: trace cache, L1D, unified L2, unified L3
+//! and the data TLB, with per-space (user/OS) event counting.
+
+use crate::cache::{Access, Evicted, SetAssocCache};
+use crate::coherence::Invalidate;
+use crate::tlb::Tlb;
+use odb_core::config::{CacheGeometry, SystemConfig};
+
+/// Execution space an event is attributed to (the paper splits every
+/// metric into user and OS components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Database/user code.
+    User,
+    /// Kernel code (I/O path, scheduler).
+    Os,
+}
+
+impl Space {
+    /// Both spaces, user first.
+    pub const ALL: [Space; 2] = [Space::User, Space::Os];
+
+    fn index(self) -> usize {
+        match self {
+            Space::User => 0,
+            Space::Os => 1,
+        }
+    }
+}
+
+/// Event counts attributed to one space on one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyCounts {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Instruction-fetch line references issued to the trace cache.
+    pub code_refs: u64,
+    /// Data references issued to L1D.
+    pub data_refs: u64,
+    /// Data references that were writes.
+    pub data_writes: u64,
+    /// Trace-cache misses.
+    pub tc_misses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 lookups (TC misses + L1D misses).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 lookups (== L2 misses).
+    pub l3_accesses: u64,
+    /// L3 misses (memory accesses over the bus).
+    pub l3_misses: u64,
+    /// L3 misses classified as coherence misses.
+    pub l3_coherence_misses: u64,
+    /// Dirty L3 victims written back over the bus.
+    pub l3_writebacks: u64,
+    /// TLB translations requested.
+    pub tlb_accesses: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Next-line prefetches issued by the L2 prefetcher.
+    pub prefetches_issued: u64,
+    /// Prefetches that had to fill from memory (bus transactions that are
+    /// not demand misses).
+    pub prefetch_l3_fills: u64,
+}
+
+impl HierarchyCounts {
+    /// Merges another processor's / space's counts into this one.
+    pub fn accumulate(&mut self, other: &HierarchyCounts) {
+        self.instructions += other.instructions;
+        self.code_refs += other.code_refs;
+        self.data_refs += other.data_refs;
+        self.data_writes += other.data_writes;
+        self.tc_misses += other.tc_misses;
+        self.l1d_misses += other.l1d_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.l3_accesses += other.l3_accesses;
+        self.l3_misses += other.l3_misses;
+        self.l3_coherence_misses += other.l3_coherence_misses;
+        self.l3_writebacks += other.l3_writebacks;
+        self.tlb_accesses += other.tlb_accesses;
+        self.tlb_misses += other.tlb_misses;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetch_l3_fills += other.prefetch_l3_fills;
+    }
+}
+
+/// Result of an access that reached the L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L3Fill {
+    /// Line-aligned address now resident in L3 (for directory tracking).
+    pub filled: u64,
+    /// Victim displaced from L3, if any (directory must drop the holder;
+    /// dirty victims also cost a bus transaction).
+    pub evicted: Option<Evicted>,
+    /// `true` when this miss was caused by a coherence invalidation.
+    pub coherence: bool,
+}
+
+/// Outcome of one reference as seen by the bus/coherence layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefOutcome {
+    /// Populated when the reference missed all levels and filled the L3.
+    pub l3_fill: Option<L3Fill>,
+    /// `true` when the reference wrote a line that is (now) resident in
+    /// L3 — the caller must notify the coherence directory.
+    pub wrote_line: Option<u64>,
+}
+
+/// One processor's TC/L1D/L2/L3/TLB stack.
+///
+/// The hierarchy is modelled as inclusive: anything resident in an inner
+/// level is also in L3, so a directory invalidation at L3 flushes inner
+/// levels too.
+///
+/// The L3 is held behind `Rc<RefCell<…>>` so that several cores can share
+/// one last-level cache (a CMP organization); SMP construction gives each
+/// core a private instance.
+#[derive(Debug)]
+pub struct CpuHierarchy {
+    tc: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    l3: std::rc::Rc<std::cell::RefCell<SetAssocCache>>,
+    tlb: Tlb,
+    counts: [HierarchyCounts; 2],
+    /// Next-line prefetch into L2 on every L2 demand miss (a §7-style
+    /// "more efficient use of limited capacity" mechanism to study).
+    l2_prefetch: bool,
+}
+
+/// Xeon MP's L1 data cache: 8 KB, 4-way, 64 B lines. Fixed because the
+/// paper's analysis never varies it (the L1D is invisible in Tables 2–4;
+/// its effect is folded into the 0.5 base CPI).
+fn l1d_geometry() -> CacheGeometry {
+    CacheGeometry::new(8 << 10, 64, 4).expect("static geometry")
+}
+
+impl CpuHierarchy {
+    /// Builds the stack described by a [`SystemConfig`] (true-LRU L3).
+    pub fn new(config: &SystemConfig) -> Self {
+        Self::with_l3_policy(config, crate::policy::ReplacementPolicy::Lru)
+    }
+
+    /// Builds the stack with an explicit L3 replacement policy — the §7
+    /// "judicious caching schemes" exploration hook. Inner levels stay
+    /// LRU (they are small and reuse-dominated).
+    pub fn with_l3_policy(
+        config: &SystemConfig,
+        policy: crate::policy::ReplacementPolicy,
+    ) -> Self {
+        let l3 = std::rc::Rc::new(std::cell::RefCell::new(SetAssocCache::with_policy(
+            config.l3, policy,
+        )));
+        Self::with_shared_l3(config, l3)
+    }
+
+    /// Builds the stack around an externally owned L3 — pass the same
+    /// handle to several cores to model a CMP's shared last-level cache.
+    /// Inner-level coherence between the sharers is not simulated (their
+    /// interaction happens at the shared L3, where capacity and reuse
+    /// effects dominate).
+    pub fn with_shared_l3(
+        config: &SystemConfig,
+        l3: std::rc::Rc<std::cell::RefCell<SetAssocCache>>,
+    ) -> Self {
+        Self {
+            tc: SetAssocCache::new(config.trace_cache),
+            l1d: SetAssocCache::new(l1d_geometry()),
+            l2: SetAssocCache::new(config.l2),
+            l3,
+            tlb: Tlb::new(config.tlb_entries as usize),
+            counts: [HierarchyCounts::default(); 2],
+            l2_prefetch: false,
+        }
+    }
+
+    /// Enables next-line prefetching into L2 on demand misses. Prefetch
+    /// fills are counted separately from demand misses (they consume bus
+    /// bandwidth but do not stall the pipeline).
+    pub fn enable_l2_prefetch(&mut self) {
+        self.l2_prefetch = true;
+    }
+
+    /// Records `n` retired instructions in `space`.
+    pub fn retire_instructions(&mut self, n: u64, space: Space) {
+        self.counts[space.index()].instructions += n;
+    }
+
+    /// Counts for one space.
+    pub fn counts(&self, space: Space) -> &HierarchyCounts {
+        &self.counts[space.index()]
+    }
+
+    /// Zeroes the per-space counters (after warm-up) without disturbing
+    /// cache contents.
+    pub fn reset_counts(&mut self) {
+        self.counts = [HierarchyCounts::default(); 2];
+    }
+
+    /// Issues an instruction-fetch line reference.
+    pub fn fetch_code(&mut self, addr: u64, space: Space) -> RefOutcome {
+        let c = &mut self.counts[space.index()];
+        c.code_refs += 1;
+        if self.tc.access(addr, false).is_hit() {
+            return RefOutcome::default();
+        }
+        self.counts[space.index()].tc_misses += 1;
+        self.descend(addr, false, space)
+    }
+
+    /// Issues a data reference (`write` dirties the line).
+    pub fn access_data(&mut self, addr: u64, write: bool, space: Space) -> RefOutcome {
+        {
+            let c = &mut self.counts[space.index()];
+            c.data_refs += 1;
+            if write {
+                c.data_writes += 1;
+            }
+            c.tlb_accesses += 1;
+        }
+        if !self.tlb.access(addr) {
+            self.counts[space.index()].tlb_misses += 1;
+        }
+        let line = self.l3.borrow().line_addr(addr);
+        if self.l1d.access(addr, write).is_hit() {
+            return RefOutcome {
+                l3_fill: None,
+                wrote_line: write.then_some(line),
+            };
+        }
+        self.counts[space.index()].l1d_misses += 1;
+        let mut outcome = self.descend(addr, write, space);
+        if write {
+            outcome.wrote_line = Some(line);
+        }
+        outcome
+    }
+
+    /// L2→L3 path shared by code and data misses.
+    fn descend(&mut self, addr: u64, write: bool, space: Space) -> RefOutcome {
+        let c = &mut self.counts[space.index()];
+        c.l2_accesses += 1;
+        if self.l2.access(addr, write).is_hit() {
+            return RefOutcome::default();
+        }
+        if self.l2_prefetch {
+            self.prefetch_next_line(addr, space);
+        }
+        let c = &mut self.counts[space.index()];
+        c.l2_misses += 1;
+        c.l3_accesses += 1;
+        // Bind before matching: a scrutinee temporary would hold the
+        // RefCell borrow across the arm that re-borrows for line_addr.
+        let access = self.l3.borrow_mut().access(addr, write);
+        match access {
+            Access::Hit => RefOutcome::default(),
+            Access::Miss { evicted, coherence } => {
+                let c = &mut self.counts[space.index()];
+                c.l3_misses += 1;
+                if coherence {
+                    c.l3_coherence_misses += 1;
+                }
+                if evicted.is_some_and(|e| e.dirty) {
+                    c.l3_writebacks += 1;
+                }
+                RefOutcome {
+                    l3_fill: Some(L3Fill {
+                        filled: self.l3.borrow().line_addr(addr),
+                        evicted,
+                        coherence,
+                    }),
+                    wrote_line: None,
+                }
+            }
+        }
+    }
+
+    /// Fetches `addr`'s successor line into L2 (and L3 if absent),
+    /// counting it as prefetch traffic rather than a demand miss.
+    fn prefetch_next_line(&mut self, addr: u64, space: Space) {
+        let line_bytes = self.l2.geometry().line_bytes() as u64;
+        let next = self.l2.line_addr(addr).saturating_add(line_bytes);
+        let c = &mut self.counts[space.index()];
+        c.prefetches_issued += 1;
+        if self.l2.access(next, false).is_hit() {
+            return;
+        }
+        let filled_from_memory = !matches!(
+            self.l3.borrow_mut().access(next, false),
+            Access::Hit
+        );
+        if filled_from_memory {
+            self.counts[space.index()].prefetch_l3_fills += 1;
+        }
+    }
+
+    /// Direct access to L3 statistics (for tests and diagnostics).
+    /// Shared-L3 cores report the shared cache's combined statistics.
+    pub fn l3_stats(&self) -> crate::cache::CacheStats {
+        self.l3.borrow().stats()
+    }
+}
+
+impl Invalidate for CpuHierarchy {
+    /// Invalidates the line in every level (inclusive hierarchy).
+    fn invalidate_line(&mut self, addr: u64) -> bool {
+        self.l1d.invalidate(addr);
+        self.l2.invalidate(addr);
+        self.tc.invalidate(addr);
+        self.l3.borrow_mut().invalidate(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odb_core::config::SystemConfig;
+
+    fn hier() -> CpuHierarchy {
+        CpuHierarchy::new(&SystemConfig::xeon_quad())
+    }
+
+    #[test]
+    fn cold_data_ref_misses_all_levels() {
+        let mut h = hier();
+        let out = h.access_data(0x10_0000, false, Space::User);
+        let fill = out.l3_fill.expect("cold miss reaches memory");
+        assert_eq!(fill.filled, 0x10_0000);
+        assert!(!fill.coherence);
+        let c = h.counts(Space::User);
+        assert_eq!(c.data_refs, 1);
+        assert_eq!(c.l1d_misses, 1);
+        assert_eq!(c.l2_misses, 1);
+        assert_eq!(c.l3_misses, 1);
+        assert_eq!(c.tlb_misses, 1);
+        assert_eq!(h.counts(Space::Os).data_refs, 0, "space attribution");
+    }
+
+    #[test]
+    fn warm_data_ref_hits_l1_and_goes_no_further() {
+        let mut h = hier();
+        h.access_data(0x10_0000, false, Space::User);
+        let out = h.access_data(0x10_0008, false, Space::User);
+        assert!(out.l3_fill.is_none());
+        let c = h.counts(Space::User);
+        assert_eq!(c.l1d_misses, 1);
+        assert_eq!(c.l2_accesses, 1, "second ref never reached L2");
+    }
+
+    #[test]
+    fn code_fetch_path_counts_tc() {
+        let mut h = hier();
+        h.fetch_code(0x40_0000, Space::Os);
+        h.fetch_code(0x40_0000, Space::Os);
+        let c = h.counts(Space::Os);
+        assert_eq!(c.code_refs, 2);
+        assert_eq!(c.tc_misses, 1);
+        assert_eq!(c.l3_misses, 1);
+        assert_eq!(c.tlb_accesses, 0, "code fetches skip the D-TLB");
+    }
+
+    #[test]
+    fn writes_surface_for_coherence() {
+        let mut h = hier();
+        let out = h.access_data(0x20_0000, true, Space::User);
+        assert_eq!(out.wrote_line, Some(0x20_0000));
+        assert!(out.l3_fill.is_some());
+        // A hit-write also surfaces.
+        let out2 = h.access_data(0x20_0000, true, Space::User);
+        assert_eq!(out2.wrote_line, Some(0x20_0000));
+        assert!(out2.l3_fill.is_none());
+        assert_eq!(h.counts(Space::User).data_writes, 2);
+    }
+
+    #[test]
+    fn invalidation_flushes_inner_levels() {
+        let mut h = hier();
+        h.access_data(0x30_0000, false, Space::User);
+        assert!(h.invalidate_line(0x30_0000));
+        // The next reference misses L1D (not silently hits) and is a
+        // coherence miss at L3.
+        let out = h.access_data(0x30_0000, false, Space::User);
+        let fill = out.l3_fill.expect("invalidated line re-fetched");
+        assert!(fill.coherence);
+        assert_eq!(h.counts(Space::User).l3_coherence_misses, 1);
+        assert_eq!(h.counts(Space::User).l1d_misses, 2);
+    }
+
+    #[test]
+    fn retire_and_reset() {
+        let mut h = hier();
+        h.retire_instructions(1000, Space::User);
+        h.retire_instructions(50, Space::Os);
+        assert_eq!(h.counts(Space::User).instructions, 1000);
+        assert_eq!(h.counts(Space::Os).instructions, 50);
+        h.access_data(0x1000, false, Space::User);
+        h.reset_counts();
+        assert_eq!(h.counts(Space::User).instructions, 0);
+        assert_eq!(h.counts(Space::User).data_refs, 0);
+        // Contents survive the reset: same line now hits.
+        let out = h.access_data(0x1000, false, Space::User);
+        assert!(out.l3_fill.is_none());
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = HierarchyCounts {
+            instructions: 10,
+            l3_misses: 2,
+            ..Default::default()
+        };
+        let b = HierarchyCounts {
+            instructions: 5,
+            l3_misses: 1,
+            tlb_misses: 7,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.l3_misses, 3);
+        assert_eq!(a.tlb_misses, 7);
+    }
+
+    #[test]
+    fn next_line_prefetch_converts_sequential_misses_to_hits() {
+        let config = SystemConfig::xeon_quad();
+        let run = |prefetch: bool| {
+            let mut h = CpuHierarchy::new(&config);
+            if prefetch {
+                h.enable_l2_prefetch();
+            }
+            // A sequential scan: each line follows its predecessor.
+            for i in 0..2_000u64 {
+                h.access_data(0x100_0000 + i * 64, false, Space::User);
+            }
+            (h.counts(Space::User).l2_misses, h.counts(Space::User).prefetches_issued)
+        };
+        let (base_misses, base_prefetches) = run(false);
+        let (pf_misses, pf_prefetches) = run(true);
+        assert_eq!(base_prefetches, 0);
+        assert!(pf_prefetches > 0);
+        assert!(
+            pf_misses * 3 < base_misses * 2,
+            "sequential scan: prefetch cuts L2 demand misses {base_misses} -> {pf_misses}"
+        );
+    }
+
+    #[test]
+    fn shared_l3_dedups_across_cores() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let config = SystemConfig::xeon_quad();
+        let l3 = Rc::new(RefCell::new(SetAssocCache::new(config.l3)));
+        let mut core0 = CpuHierarchy::with_shared_l3(&config, l3.clone());
+        let mut core1 = CpuHierarchy::with_shared_l3(&config, l3.clone());
+        // Core 0 fetches a line into the shared L3.
+        let out0 = core0.access_data(0x70_0000, false, Space::User);
+        assert!(out0.l3_fill.is_some(), "cold fill through core 0");
+        // Core 1 misses its private L1/L2 but hits the shared L3.
+        let out1 = core1.access_data(0x70_0000, false, Space::User);
+        assert!(out1.l3_fill.is_none(), "shared L3 already holds the line");
+        assert_eq!(core1.counts(Space::User).l2_misses, 1);
+        assert_eq!(core1.counts(Space::User).l3_misses, 0);
+        // The shared statistics reflect both cores' traffic.
+        assert_eq!(core0.l3_stats().accesses, 2);
+        assert_eq!(core0.l3_stats().misses, 1);
+        assert_eq!(core1.l3_stats(), core0.l3_stats());
+    }
+
+    #[test]
+    fn dirty_l3_victim_counts_writeback() {
+        // Walk enough distinct written lines to force dirty L3 evictions.
+        let mut h = hier();
+        let l3_lines = SystemConfig::xeon_quad().l3.lines();
+        for i in 0..(l3_lines * 2) {
+            h.access_data(i * 64, true, Space::User);
+        }
+        assert!(h.counts(Space::User).l3_writebacks > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Memory-system simulation for the ODB workload-scaling reproduction.
+//!
+//! The paper measures its CPI and MPI trends on real Xeon hardware; this
+//! crate supplies the simulated equivalent:
+//!
+//! * [`cache`] — set-associative, write-back caches with LRU replacement
+//!   and invalidation support;
+//! * [`tlb`] — a fully-associative LRU translation buffer;
+//! * [`coherence`] — a directory that broadcasts invalidations between the
+//!   per-processor cache hierarchies (MESI-style, write-invalidate) and
+//!   classifies coherence misses separately from capacity misses;
+//! * [`hierarchy`] — one processor's TC/L1D/L2/L3/TLB stack with
+//!   per-space (user/OS) statistics;
+//! * [`dist`] — Zipf and related samplers for skewed reference streams;
+//! * [`trace`] — the structured synthetic address-trace generator and the
+//!   multi-processor [`trace::Characterizer`] that turns a workload
+//!   description into per-instruction event rates (sampled simulation);
+//! * [`bus`] — the front-side-bus/IOQ queueing model behind Fig 16;
+//! * [`rates`] — the event-rate vocabulary handed to the timing model.
+//!
+//! The division of labour with `odb-engine`: the engine describes *what*
+//! the workload touches (page populations, mix, context-switch rate);
+//! this crate simulates *how* the hardware responds (misses per
+//! instruction, bus latency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod coherence;
+pub mod dist;
+pub mod hierarchy;
+pub mod policy;
+pub mod rates;
+pub mod tlb;
+pub mod trace;
+
+pub use bus::FsbModel;
+pub use hierarchy::{CpuHierarchy, Space};
+pub use rates::{EventRates, SpaceRates};
+pub use trace::{Characterizer, DbRefSource, TraceParams};

@@ -1,0 +1,171 @@
+//! A fully-associative, LRU data-TLB over 4 KB pages.
+
+/// Translation look-aside buffer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Total translations requested.
+    pub accesses: u64,
+    /// Translations that required a page walk.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio in `[0, 1]`; zero with no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses > 0 {
+            self.misses as f64 / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fully-associative TLB with true-LRU replacement over 4 KB pages.
+///
+/// Xeon MP's DTLB is 64-entry fully associative; at that size a linear
+/// scan is faster than fancier structures and keeps the simulator simple.
+///
+/// ```
+/// use odb_memsim::tlb::Tlb;
+///
+/// let mut t = Tlb::new(64);
+/// assert!(!t.access(0x1000)); // cold miss
+/// assert!(t.access(0x1FFF));  // same 4 KB page: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    /// `(page_number, stamp)` pairs; linear LRU.
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    clock: u64,
+    stats: TlbStats,
+}
+
+/// 4 KB pages.
+const PAGE_SHIFT: u32 = 12;
+
+impl Tlb {
+    /// Creates an empty TLB holding `entries` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "TLB must have at least one entry");
+        Self {
+            entries: Vec::with_capacity(entries),
+            capacity: entries,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates the page containing `addr`; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let page = addr >> PAGE_SHIFT;
+        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            entry.1 = self.clock;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push((page, self.clock));
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, stamp)| *stamp)
+                .expect("capacity > 0");
+            *lru = (page, self.clock);
+        }
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets statistics without evicting translations.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no translations are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits_different_page_misses() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x0000));
+        assert!(t.access(0x0FFF));
+        assert!(!t.access(0x1000));
+        assert_eq!(t.stats().accesses, 3);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(2);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // refresh page 0
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0000), "page 0 survived");
+        assert!(!t.access(0x1000), "page 1 evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_misses() {
+        let mut t = Tlb::new(64);
+        for i in 0..64u64 {
+            t.access(i << PAGE_SHIFT);
+        }
+        t.reset_stats();
+        for _ in 0..5 {
+            for i in 0..64u64 {
+                assert!(t.access(i << PAGE_SHIFT));
+            }
+        }
+        assert_eq!(t.stats().misses, 0);
+        assert_eq!(t.len(), 64);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn cyclic_overflow_thrashes() {
+        let mut t = Tlb::new(8);
+        for _ in 0..4 {
+            for i in 0..16u64 {
+                t.access(i << PAGE_SHIFT);
+            }
+        }
+        assert!(t.stats().miss_ratio() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn miss_ratio_zero_when_untouched() {
+        let t = Tlb::new(4);
+        assert_eq!(t.stats().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,1080 @@
+//! Structured synthetic trace generation and the multi-processor
+//! characterization runner.
+//!
+//! The paper measures miss rates on live hardware; we regenerate them by
+//! *sampled, execution-driven simulation*: a synthetic instruction/data
+//! reference stream whose structure mirrors the ODB workload's —
+//!
+//! * a large, skewed **code** footprint (Oracle's instruction working set
+//!   famously exceeds first-level instruction stores);
+//! * per-process **stack/private** data with high locality;
+//! * shared **SGA metadata** (latches, state objects) with a write
+//!   fraction, the main source of coherence traffic;
+//! * **buffer-header** arrays whose footprint grows with the database
+//!   size until the buffer cache is exhausted;
+//! * **database page data** supplied by the engine through
+//!   [`DbRefSource`] — this is where warehouse-count dependence enters:
+//!   the per-transaction page population grows with `W`, so
+//!   inter-transaction reuse distance grows with `W` and the L3 MPI
+//!   saturates past the point where the hot set exceeds L3 capacity;
+//! * an interleaved **OS** stream whose share grows with I/O activity.
+//!
+//! Processes are rotated per the engine's context-switch-rate estimate, so
+//! switch-induced cache pollution emerges naturally; the coherence
+//! [`Directory`] connects the per-processor hierarchies.
+
+use crate::coherence::Directory;
+use crate::dist::Zipf;
+use crate::hierarchy::{CpuHierarchy, HierarchyCounts, RefOutcome, Space};
+use crate::rates::{EventRates, SpaceRates};
+use odb_core::config::SystemConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One database-data reference, as an offset into the shared buffer-cache
+/// data region plus a write flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbRef {
+    /// Byte offset within the database data region.
+    pub offset: u64,
+    /// `true` when the reference modifies the line.
+    pub write: bool,
+}
+
+/// Supplies the database-data reference stream for one process.
+///
+/// The engine implements this with its transaction profiles (which tables
+/// and pages each transaction type touches); tests can use
+/// [`UniformDbSource`].
+pub trait DbRefSource {
+    /// Produces the next reference. Called once per sampled DB data
+    /// reference; implementations advance their own transaction state.
+    fn next_ref(&mut self, rng: &mut SmallRng) -> DbRef;
+}
+
+/// A synthetic source with page-level locality: picks pages uniformly
+/// over a footprint, then emits several line references within each page
+/// (as reading a row through a block does) before moving on.
+#[derive(Debug, Clone)]
+pub struct UniformDbSource {
+    footprint_pages: u64,
+    write_frac: f64,
+    refs_per_page: u32,
+    page_base: u64,
+    left: u32,
+}
+
+/// Database block size used by the synthetic sources (8 KB, Oracle-like).
+pub const DB_PAGE_BYTES: u64 = 8 << 10;
+
+impl UniformDbSource {
+    /// Uniform page selection over `footprint_bytes`, writing with
+    /// probability `write_frac`, eight line references per page visit.
+    pub fn new(footprint_bytes: u64, write_frac: f64) -> Self {
+        Self {
+            footprint_pages: (footprint_bytes / DB_PAGE_BYTES).max(1),
+            write_frac,
+            refs_per_page: 8,
+            page_base: 0,
+            left: 0,
+        }
+    }
+}
+
+impl DbRefSource for UniformDbSource {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> DbRef {
+        if self.left == 0 {
+            self.page_base = rng.gen_range(0..self.footprint_pages) * DB_PAGE_BYTES;
+            self.left = self.refs_per_page;
+        }
+        self.left -= 1;
+        DbRef {
+            offset: self.page_base + rng.gen_range(0..DB_PAGE_BYTES / 64) * 64,
+            write: rng.gen_bool(self.write_frac),
+        }
+    }
+}
+
+/// Fractions of user-space data references going to each stream; must sum
+/// to 1 (validated by [`TraceParams::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataMix {
+    /// Process-private stack and heap.
+    pub stack: f64,
+    /// Shared SGA metadata (latches, library cache, state objects).
+    pub metadata: f64,
+    /// Buffer-header array entries.
+    pub buffer_header: f64,
+    /// Database page data (via [`DbRefSource`]).
+    pub db: f64,
+}
+
+/// Everything the trace generator needs to know about the workload's
+/// memory behaviour. Constructed by the engine per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParams {
+    /// Hot user (database) code footprint in bytes.
+    pub user_code_bytes: u64,
+    /// Hot OS code footprint in bytes.
+    pub os_code_bytes: u64,
+    /// Per-instruction probability of a taken branch to a fresh code block.
+    pub code_jump_prob: f64,
+    /// Zipf exponent over code blocks (higher = tighter loops).
+    pub code_zipf_s: f64,
+    /// Data references per instruction.
+    pub data_refs_per_instr: f64,
+    /// Private stack/heap footprint per process, bytes.
+    pub stack_bytes: u64,
+    /// Write fraction for stack references.
+    pub stack_write_frac: f64,
+    /// Shared metadata footprint, bytes.
+    pub metadata_bytes: u64,
+    /// Write fraction for metadata references (drives coherence traffic).
+    pub metadata_write_frac: f64,
+    /// Write fraction for buffer-header references. Header mutations
+    /// (touch counts, pin state) are rare relative to reads, and every
+    /// one is a potential cross-processor invalidation.
+    pub buffer_header_write_frac: f64,
+    /// Buffer-header array footprint, bytes (64 B per cached page; grows
+    /// with `W` until the buffer cache is full).
+    pub buffer_header_bytes: u64,
+    /// User-space data reference mix.
+    pub mix: DataMix,
+    /// Kernel data footprint, bytes.
+    pub os_data_bytes: u64,
+    /// Write fraction for kernel data references.
+    pub os_write_frac: f64,
+    /// Fraction of all instructions executed in OS space.
+    pub os_fraction: f64,
+    /// Length of one OS burst (syscall/interrupt path), instructions.
+    pub os_burst_len: u64,
+    /// Instructions between context switches on one CPU.
+    pub instrs_per_context_switch: u64,
+    /// Concurrent processes multiplexed on each CPU.
+    pub processes_per_cpu: usize,
+    /// Database write fraction forwarded to coherence accounting.
+    pub db_write_frac: f64,
+    /// Mean consecutive references to one sampled stack location (real
+    /// streams dwell: a spilled register is reloaded, a local is reused).
+    pub stack_dwell: u32,
+    /// Mean dwell on a metadata location.
+    pub metadata_dwell: u32,
+    /// Mean dwell on a buffer-header entry.
+    pub buffer_header_dwell: u32,
+    /// Mean dwell on a database data line (column accesses within a row).
+    pub db_dwell: u32,
+    /// Mean dwell on a kernel data location.
+    pub os_dwell: u32,
+    /// Fraction of kernel data references that hit per-CPU structures
+    /// (run queues, per-CPU slabs) rather than shared kernel state.
+    pub os_percpu_frac: f64,
+    /// Branch mispredictions per user instruction (flat across `W`, §5.1.1).
+    pub user_branch_mispred: f64,
+    /// Branch mispredictions per OS instruction.
+    pub os_branch_mispred: f64,
+    /// Residual user stall CPI (the "Other" component's floor).
+    pub user_other_stall_cpi: f64,
+    /// Residual OS stall CPI.
+    pub os_other_stall_cpi: f64,
+}
+
+impl Default for TraceParams {
+    /// Defaults tuned for the ODB-on-Xeon workload; the engine overrides
+    /// the configuration-dependent fields (`buffer_header_bytes`,
+    /// `os_fraction`, `instrs_per_context_switch`, `processes_per_cpu`).
+    fn default() -> Self {
+        Self {
+            user_code_bytes: 1536 << 10,
+            os_code_bytes: 256 << 10,
+            code_jump_prob: 1.0 / 14.0,
+            code_zipf_s: 1.5,
+            data_refs_per_instr: 0.35,
+            stack_bytes: 48 << 10,
+            stack_write_frac: 0.3,
+            metadata_bytes: 512 << 10,
+            metadata_write_frac: 0.0015,
+            buffer_header_write_frac: 0.002,
+            buffer_header_bytes: 2 << 20,
+            mix: DataMix {
+                stack: 0.62,
+                metadata: 0.10,
+                buffer_header: 0.04,
+                db: 0.24,
+            },
+            os_data_bytes: 128 << 10,
+            os_write_frac: 0.08,
+            os_fraction: 0.12,
+            os_burst_len: 1_200,
+            instrs_per_context_switch: 150_000,
+            processes_per_cpu: 4,
+            db_write_frac: 0.18,
+            stack_dwell: 10,
+            metadata_dwell: 6,
+            buffer_header_dwell: 3,
+            db_dwell: 8,
+            os_dwell: 8,
+            os_percpu_frac: 0.8,
+            user_branch_mispred: 0.0040,
+            os_branch_mispred: 0.0050,
+            user_other_stall_cpi: 0.30,
+            os_other_stall_cpi: 0.20,
+        }
+    }
+}
+
+impl TraceParams {
+    /// Validates ranges and that the data mix sums to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] naming the bad field.
+    pub fn validate(&self) -> Result<(), odb_core::Error> {
+        let mix_sum = self.mix.stack + self.mix.metadata + self.mix.buffer_header + self.mix.db;
+        if (mix_sum - 1.0).abs() > 1e-6 {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "mix",
+                reason: format!("data mix sums to {mix_sum}, expected 1.0"),
+            });
+        }
+        for (field, v) in [
+            ("code_jump_prob", self.code_jump_prob),
+            ("data_refs_per_instr", self.data_refs_per_instr),
+            ("os_fraction", self.os_fraction),
+            ("metadata_write_frac", self.metadata_write_frac),
+            ("buffer_header_write_frac", self.buffer_header_write_frac),
+            ("stack_write_frac", self.stack_write_frac),
+            ("os_write_frac", self.os_write_frac),
+            ("db_write_frac", self.db_write_frac),
+            ("os_percpu_frac", self.os_percpu_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(odb_core::Error::InvalidConfig {
+                    field,
+                    reason: format!("{v} must lie in [0, 1]"),
+                });
+            }
+        }
+        if self.processes_per_cpu == 0 {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "processes_per_cpu",
+                reason: "must be nonzero".to_owned(),
+            });
+        }
+        if self.instrs_per_context_switch == 0 {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "instrs_per_context_switch",
+                reason: "must be nonzero".to_owned(),
+            });
+        }
+        for (field, v) in [
+            ("stack_dwell", self.stack_dwell),
+            ("metadata_dwell", self.metadata_dwell),
+            ("buffer_header_dwell", self.buffer_header_dwell),
+            ("db_dwell", self.db_dwell),
+            ("os_dwell", self.os_dwell),
+        ] {
+            if v == 0 {
+                return Err(odb_core::Error::InvalidConfig {
+                    field,
+                    reason: "dwell must be at least 1".to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// Region base addresses, spread across a 48-bit space so regions never
+// collide; the odd low bits de-align region starts across cache sets.
+const USER_CODE_BASE: u64 = 0x0000_4000_0000;
+const OS_CODE_BASE: u64 = 0x0100_4A00_0000;
+const METADATA_BASE: u64 = 0x0200_5340_0000;
+const BUFHDR_BASE: u64 = 0x0300_60C0_0000;
+const OS_DATA_BASE: u64 = 0x0400_7500_0000;
+const OS_PERCPU_BASE: u64 = 0x0480_1180_0000;
+const OS_PERCPU_STRIDE: u64 = 1 << 21;
+const STACK_BASE: u64 = 0x0500_0000_0000;
+const STACK_STRIDE: u64 = 1 << 21;
+const DB_BASE: u64 = 0x1000_0000_0000;
+
+/// Code blocks are 256 B: a handful of basic blocks.
+const CODE_BLOCK: u64 = 256;
+/// Cache-line granularity of data sampling.
+const LINE: u64 = 64;
+
+/// Aggregate result of one characterization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Per-instruction event rates for each space (the engine's input).
+    pub rates: EventRates,
+    /// Raw user-space counts summed over all processors.
+    pub user_counts: HierarchyCounts,
+    /// Raw OS-space counts summed over all processors.
+    pub os_counts: HierarchyCounts,
+    /// Coherence invalidations broadcast during measurement.
+    pub coherence_invalidations: u64,
+    /// Instructions simulated during measurement (all CPUs, both spaces).
+    pub instructions: u64,
+}
+
+impl Characterization {
+    /// Overall L3 misses per instruction across both spaces.
+    pub fn mpi(&self) -> f64 {
+        let instr = self.user_counts.instructions + self.os_counts.instructions;
+        if instr == 0 {
+            return 0.0;
+        }
+        (self.user_counts.l3_misses + self.os_counts.l3_misses) as f64 / instr as f64
+    }
+
+    /// Fraction of L3 misses that were coherence misses (the paper finds
+    /// this negligible on its machine).
+    pub fn coherence_miss_fraction(&self) -> f64 {
+        let misses = self.user_counts.l3_misses + self.os_counts.l3_misses;
+        if misses == 0 {
+            return 0.0;
+        }
+        (self.user_counts.l3_coherence_misses + self.os_counts.l3_coherence_misses) as f64
+            / misses as f64
+    }
+}
+
+/// An in-progress dwell on one data line: the stream re-references the
+/// same line `left` more times before sampling a fresh location.
+#[derive(Debug, Clone, Copy, Default)]
+struct DataRun {
+    line_base: u64,
+    left: u32,
+    write_frac: f64,
+}
+
+/// Per-process stream state.
+struct ProcessState<S> {
+    /// Global process id (determines its private stack region).
+    pid: usize,
+    user_code_cursor: u64,
+    db_source: S,
+    run: DataRun,
+}
+
+/// Per-CPU interleaving state.
+struct CpuState {
+    current: usize,
+    until_switch: u64,
+    os_remaining: u64,
+    user_since_burst: u64,
+    os_code_cursor: u64,
+    os_run: DataRun,
+    rng: SmallRng,
+}
+
+/// Draws a dwell length with the given mean: uniform over
+/// `1..=2×mean − 1`, cheap and mean-exact.
+fn draw_dwell(rng: &mut SmallRng, mean: u32) -> u32 {
+    if mean <= 1 {
+        1
+    } else {
+        rng.gen_range(1..=2 * mean - 1)
+    }
+}
+
+/// Continues a dwell (same line, fresh offset) or reports exhaustion.
+fn continue_run(run: &mut DataRun, rng: &mut SmallRng) -> Option<(u64, bool)> {
+    if run.left == 0 {
+        return None;
+    }
+    run.left -= 1;
+    let offset = rng.gen_range(0..8u64) * 8;
+    Some((run.line_base + offset, rng.gen_bool(run.write_frac)))
+}
+
+/// The multi-processor characterization runner.
+///
+/// Simulates `P` processor hierarchies round-robin in fine-grained chunks,
+/// multiplexing `processes_per_cpu` process streams on each, with a
+/// write-invalidate directory between them, and reduces the result to
+/// [`EventRates`].
+pub struct Characterizer {
+    params: TraceParams,
+    system: SystemConfig,
+    /// Interleaving granularity in instructions.
+    chunk: u64,
+    /// L3 replacement policy (LRU unless exploring §7 schemes).
+    l3_policy: crate::policy::ReplacementPolicy,
+    /// Last-level-cache organization (private per core, or one shared —
+    /// the CMP what-if of the paper's introduction).
+    shared_l3: bool,
+    /// Next-line L2 prefetching (off on the paper's machine).
+    l2_prefetch: bool,
+}
+
+impl Characterizer {
+    /// Creates a runner for the given machine and workload description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] when either fails
+    /// validation.
+    pub fn new(system: SystemConfig, params: TraceParams) -> Result<Self, odb_core::Error> {
+        system.validate()?;
+        params.validate()?;
+        Ok(Self {
+            params,
+            system,
+            chunk: 20_000,
+            l3_policy: crate::policy::ReplacementPolicy::Lru,
+            shared_l3: false,
+            l2_prefetch: false,
+        })
+    }
+
+    /// Returns a copy using `policy` for every processor's L3.
+    #[must_use]
+    pub fn with_l3_policy(mut self, policy: crate::policy::ReplacementPolicy) -> Self {
+        self.l3_policy = policy;
+        self
+    }
+
+    /// Returns a copy with next-line L2 prefetching enabled on every
+    /// processor.
+    #[must_use]
+    pub fn with_l2_prefetch(mut self) -> Self {
+        self.l2_prefetch = true;
+        self
+    }
+
+    /// Returns a copy where all processors share one L3 of the system's
+    /// configured geometry — a single-die CMP organization. Shared-L3
+    /// runs need no inter-cache coherence, so any directory passed to
+    /// [`Characterizer::run_with_directory`] is ignored.
+    #[must_use]
+    pub fn with_shared_l3(mut self) -> Self {
+        self.shared_l3 = true;
+        self
+    }
+
+    /// The workload parameters in use.
+    pub fn params(&self) -> &TraceParams {
+        &self.params
+    }
+
+    /// Runs warm-up then measurement, returning the reduced rates.
+    ///
+    /// `make_source` is called once per process (`P × processes_per_cpu`
+    /// times) with the global process id. `measure_instructions` counts
+    /// per CPU; warm-up runs `warmup_instructions` per CPU first, then all
+    /// statistics are reset without disturbing cache state.
+    pub fn run<S, F>(
+        &self,
+        mut make_source: F,
+        seed: u64,
+        warmup_instructions: u64,
+        measure_instructions: u64,
+    ) -> Characterization
+    where
+        S: DbRefSource,
+        F: FnMut(usize) -> S,
+    {
+        self.run_with_directory(
+            &mut Directory::new(),
+            &mut make_source,
+            seed,
+            warmup_instructions,
+            measure_instructions,
+        )
+    }
+
+    /// Like [`Characterizer::run`], but with a caller-supplied directory —
+    /// pass [`Directory::disabled`] for the coherence ablation.
+    pub fn run_with_directory<S, F>(
+        &self,
+        directory: &mut Directory,
+        make_source: &mut F,
+        seed: u64,
+        warmup_instructions: u64,
+        measure_instructions: u64,
+    ) -> Characterization
+    where
+        S: DbRefSource,
+        F: FnMut(usize) -> S,
+    {
+        let p = self.system.processors as usize;
+        let ppc = self.params.processes_per_cpu;
+        let mut hierarchies: Vec<CpuHierarchy> = if self.shared_l3 {
+            let l3 = std::rc::Rc::new(std::cell::RefCell::new(
+                crate::cache::SetAssocCache::with_policy(self.system.l3, self.l3_policy),
+            ));
+            (0..p)
+                .map(|_| CpuHierarchy::with_shared_l3(&self.system, l3.clone()))
+                .collect()
+        } else {
+            (0..p)
+                .map(|_| CpuHierarchy::with_l3_policy(&self.system, self.l3_policy))
+                .collect()
+        };
+        if self.l2_prefetch {
+            for h in &mut hierarchies {
+                h.enable_l2_prefetch();
+            }
+        }
+        // A shared physical L3 has nothing to keep coherent at that
+        // level; neutralize the directory so invalidations cannot evict
+        // the single copy both writers and readers use.
+        let mut disabled_dir = Directory::disabled();
+        let directory: &mut Directory = if self.shared_l3 {
+            &mut disabled_dir
+        } else {
+            directory
+        };
+        let mut processes: Vec<Vec<ProcessState<S>>> = (0..p)
+            .map(|cpu| {
+                (0..ppc)
+                    .map(|slot| {
+                        let pid = cpu * ppc + slot;
+                        ProcessState {
+                            pid,
+                            user_code_cursor: USER_CODE_BASE
+                                + (pid as u64 * 4096) % self.params.user_code_bytes.max(4096),
+                            db_source: make_source(pid),
+                            run: DataRun::default(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cpus: Vec<CpuState> = (0..p)
+            .map(|cpu| CpuState {
+                current: 0,
+                until_switch: self.params.instrs_per_context_switch,
+                os_remaining: 0,
+                user_since_burst: 0,
+                os_code_cursor: OS_CODE_BASE,
+                os_run: DataRun::default(),
+                rng: SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                    .wrapping_mul(cpu as u64 + 1))),
+            })
+            .collect();
+
+        let samplers = Samplers::new(&self.params);
+
+        // Warm-up: identical loop, stats discarded afterwards.
+        self.interleave(
+            warmup_instructions,
+            &mut hierarchies,
+            &mut processes,
+            &mut cpus,
+            directory,
+            &samplers,
+        );
+        for h in &mut hierarchies {
+            h.reset_counts();
+        }
+        let inval_before = directory.invalidations_sent();
+
+        self.interleave(
+            measure_instructions,
+            &mut hierarchies,
+            &mut processes,
+            &mut cpus,
+            directory,
+            &samplers,
+        );
+
+        let mut user = HierarchyCounts::default();
+        let mut os = HierarchyCounts::default();
+        for h in &hierarchies {
+            user.accumulate(h.counts(Space::User));
+            os.accumulate(h.counts(Space::Os));
+        }
+        let fallback = SpaceRates {
+            tc_miss: 0.0,
+            l2_miss: 0.0,
+            l3_miss: 0.0,
+            l3_coherence_miss: 0.0,
+            l3_writeback: 0.0,
+            tlb_miss: 0.0,
+            branch_mispred: 0.0,
+            other_stall_cpi: 0.0,
+        };
+        let rates = EventRates {
+            user: SpaceRates::from_counts(
+                &user,
+                self.params.user_branch_mispred,
+                self.params.user_other_stall_cpi,
+            )
+            .unwrap_or(fallback),
+            os: SpaceRates::from_counts(
+                &os,
+                self.params.os_branch_mispred,
+                self.params.os_other_stall_cpi,
+            )
+            .unwrap_or(fallback),
+        };
+        Characterization {
+            rates,
+            coherence_invalidations: directory.invalidations_sent() - inval_before,
+            instructions: user.instructions + os.instructions,
+            user_counts: user,
+            os_counts: os,
+        }
+    }
+
+    /// Runs `instructions` per CPU, interleaved in chunks for coherence
+    /// fidelity.
+    fn interleave<S: DbRefSource>(
+        &self,
+        instructions: u64,
+        hierarchies: &mut [CpuHierarchy],
+        processes: &mut [Vec<ProcessState<S>>],
+        cpus: &mut [CpuState],
+        directory: &mut Directory,
+        samplers: &Samplers,
+    ) {
+        let mut remaining = vec![instructions; cpus.len()];
+        loop {
+            let mut progressed = false;
+            for cpu in 0..cpus.len() {
+                if remaining[cpu] == 0 {
+                    continue;
+                }
+                let n = remaining[cpu].min(self.chunk);
+                remaining[cpu] -= n;
+                progressed = true;
+                self.run_chunk(
+                    cpu,
+                    n,
+                    hierarchies,
+                    &mut processes[cpu],
+                    &mut cpus[cpu],
+                    directory,
+                    samplers,
+                );
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk<S: DbRefSource>(
+        &self,
+        cpu: usize,
+        instructions: u64,
+        hierarchies: &mut [CpuHierarchy],
+        procs: &mut [ProcessState<S>],
+        state: &mut CpuState,
+        directory: &mut Directory,
+        samplers: &Samplers,
+    ) {
+        let p = &self.params;
+        // Instructions of user execution between OS bursts that yields the
+        // configured OS share: burst_len × (1 − f) / f.
+        let user_between_bursts = if p.os_fraction > 0.0 && p.os_fraction < 1.0 {
+            (p.os_burst_len as f64 * (1.0 - p.os_fraction) / p.os_fraction) as u64
+        } else {
+            u64::MAX
+        };
+
+        for _ in 0..instructions {
+            // Space selection via burst alternation.
+            let space = if state.os_remaining > 0 {
+                state.os_remaining -= 1;
+                Space::Os
+            } else if p.os_fraction >= 1.0 {
+                Space::Os
+            } else {
+                state.user_since_burst += 1;
+                if state.user_since_burst >= user_between_bursts {
+                    state.user_since_burst = 0;
+                    state.os_remaining = p.os_burst_len;
+                }
+                Space::User
+            };
+
+            hierarchies[cpu].retire_instructions(1, space);
+
+            // Instruction fetch.
+            let (cursor, code_base, code_bytes) = match space {
+                Space::User => (
+                    &mut procs[state.current].user_code_cursor,
+                    USER_CODE_BASE,
+                    p.user_code_bytes,
+                ),
+                Space::Os => (&mut state.os_code_cursor, OS_CODE_BASE, p.os_code_bytes),
+            };
+            let old_line = *cursor / LINE;
+            if state.rng.gen_bool(p.code_jump_prob) {
+                let sampler = match space {
+                    Space::User => &samplers.user_code,
+                    Space::Os => &samplers.os_code,
+                };
+                let block = sampler.sample(&mut state.rng);
+                *cursor = code_base + block * CODE_BLOCK;
+            } else {
+                *cursor += 4;
+                if *cursor >= code_base + code_bytes {
+                    *cursor = code_base;
+                }
+            }
+            let addr = *cursor;
+            if addr / LINE != old_line {
+                let outcome = hierarchies[cpu].fetch_code(addr, space);
+                sync_directory(cpu, outcome, false, hierarchies, directory);
+            }
+
+            // Data reference.
+            if state.rng.gen_bool(p.data_refs_per_instr) {
+                let (addr, write) = match space {
+                    Space::User => self.user_data_ref(procs, state, samplers),
+                    Space::Os => self.os_data_ref(cpu, state, samplers),
+                };
+                let outcome = hierarchies[cpu].access_data(addr, write, space);
+                sync_directory(cpu, outcome, write, hierarchies, directory);
+            }
+
+            // Context switch: rotate to the next process on this CPU.
+            state.until_switch -= 1;
+            if state.until_switch == 0 {
+                state.until_switch = p.instrs_per_context_switch;
+                state.current = (state.current + 1) % procs.len();
+            }
+        }
+    }
+
+    /// Samples one user-space data reference for the current process,
+    /// continuing any in-progress dwell first.
+    fn user_data_ref<S: DbRefSource>(
+        &self,
+        procs: &mut [ProcessState<S>],
+        state: &mut CpuState,
+        samplers: &Samplers,
+    ) -> (u64, bool) {
+        let p = &self.params;
+        let proc = &mut procs[state.current];
+        if let Some(r) = continue_run(&mut proc.run, &mut state.rng) {
+            return r;
+        }
+        let u: f64 = state.rng.gen();
+        let (line, dwell, write_frac) = if u < p.mix.stack {
+            let rank = samplers.stack.sample(&mut state.rng);
+            (
+                STACK_BASE + proc.pid as u64 * STACK_STRIDE + rank * LINE,
+                p.stack_dwell,
+                p.stack_write_frac,
+            )
+        } else if u < p.mix.stack + p.mix.metadata {
+            let rank = samplers.metadata.sample(&mut state.rng);
+            (
+                METADATA_BASE + rank * LINE,
+                p.metadata_dwell,
+                p.metadata_write_frac,
+            )
+        } else if u < p.mix.stack + p.mix.metadata + p.mix.buffer_header {
+            let rank = samplers.buffer_header.sample(&mut state.rng);
+            (
+                BUFHDR_BASE + rank * LINE,
+                p.buffer_header_dwell,
+                p.buffer_header_write_frac,
+            )
+        } else {
+            let r = proc.db_source.next_ref(&mut state.rng);
+            let addr = DB_BASE + r.offset;
+            let write_frac = if r.write { p.db_write_frac.max(0.5) } else { 0.0 };
+            (addr & !(LINE - 1), p.db_dwell, write_frac)
+        };
+        proc.run = DataRun {
+            line_base: line & !(LINE - 1),
+            left: draw_dwell(&mut state.rng, dwell).saturating_sub(1),
+            write_frac,
+        };
+        (line, state.rng.gen_bool(write_frac))
+    }
+
+    /// Samples one kernel data reference on `cpu`.
+    fn os_data_ref(&self, cpu: usize, state: &mut CpuState, samplers: &Samplers) -> (u64, bool) {
+        let p = &self.params;
+        if let Some(r) = continue_run(&mut state.os_run, &mut state.rng) {
+            return r;
+        }
+        let rank = samplers.os_data.sample(&mut state.rng);
+        let base = if state.rng.gen_bool(p.os_percpu_frac) {
+            OS_PERCPU_BASE + cpu as u64 * OS_PERCPU_STRIDE
+        } else {
+            OS_DATA_BASE
+        };
+        let line = base + rank * LINE;
+        state.os_run = DataRun {
+            line_base: line,
+            left: draw_dwell(&mut state.rng, p.os_dwell).saturating_sub(1),
+            write_frac: p.os_write_frac,
+        };
+        (line, state.rng.gen_bool(p.os_write_frac))
+    }
+}
+
+/// Propagates an access outcome into the coherence directory.
+fn sync_directory(
+    cpu: usize,
+    outcome: RefOutcome,
+    _write: bool,
+    hierarchies: &mut [CpuHierarchy],
+    directory: &mut Directory,
+) {
+    if let Some(fill) = outcome.l3_fill {
+        if let Some(e) = fill.evicted {
+            directory.record_evict(cpu, e.addr);
+        }
+        directory.record_fill(cpu, fill.filled);
+    }
+    if let Some(line) = outcome.wrote_line {
+        if directory.has_remote_holders(cpu, line) {
+            let mut refs: Vec<&mut CpuHierarchy> = hierarchies.iter_mut().collect();
+            directory.write(cpu, line, &mut refs);
+        }
+    }
+}
+
+/// Pre-built Zipf samplers over each region's line (or block) ranks.
+struct Samplers {
+    user_code: Zipf,
+    os_code: Zipf,
+    stack: Zipf,
+    metadata: Zipf,
+    buffer_header: Zipf,
+    os_data: Zipf,
+}
+
+impl Samplers {
+    fn new(p: &TraceParams) -> Self {
+        let blocks = |bytes: u64, unit: u64| (bytes / unit).max(1);
+        Self {
+            user_code: Zipf::new(blocks(p.user_code_bytes, CODE_BLOCK), p.code_zipf_s),
+            os_code: Zipf::new(blocks(p.os_code_bytes, CODE_BLOCK), p.code_zipf_s),
+            stack: Zipf::new(blocks(p.stack_bytes, LINE), 1.0),
+            metadata: Zipf::new(blocks(p.metadata_bytes, LINE), 1.0),
+            buffer_header: Zipf::new(blocks(p.buffer_header_bytes, LINE), 0.9),
+            os_data: Zipf::new(blocks(p.os_data_bytes, LINE), 1.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(p: u32) -> SystemConfig {
+        SystemConfig::xeon_quad().with_processors(p)
+    }
+
+    fn quick_params() -> TraceParams {
+        TraceParams {
+            processes_per_cpu: 2,
+            instrs_per_context_switch: 30_000,
+            ..TraceParams::default()
+        }
+    }
+
+    fn run(p: u32, db_footprint: u64, seed: u64) -> Characterization {
+        let ch = Characterizer::new(small_system(p), quick_params()).unwrap();
+        ch.run(
+            |_| UniformDbSource::new(db_footprint, 0.18),
+            seed,
+            600_000,
+            400_000,
+        )
+    }
+
+    #[test]
+    fn produces_plausible_rates() {
+        let c = run(1, 64 << 20, 42);
+        assert!(c.instructions >= 400_000);
+        let r = c.rates;
+        assert!(r.user.l3_miss > 0.0, "some misses occur");
+        assert!(r.user.l3_miss < 0.1, "but not absurdly many");
+        assert!(r.user.l2_miss >= r.user.l3_miss, "L2 misses feed L3");
+        assert!(r.user.tlb_miss > 0.0);
+        assert!(r.os.l3_miss > 0.0);
+        assert!(c.mpi() > 0.0);
+    }
+
+    #[test]
+    fn os_fraction_is_respected() {
+        let c = run(1, 64 << 20, 7);
+        let total = c.instructions as f64;
+        let os_frac = c.os_counts.instructions as f64 / total;
+        assert!(
+            (os_frac - 0.12).abs() < 0.03,
+            "requested 0.12, observed {os_frac}"
+        );
+    }
+
+    #[test]
+    fn larger_db_footprint_raises_mpi() {
+        // 512 KB of hot pages fit alongside the other streams in L3; a
+        // 256 MB population does not.
+        let small = run(1, 512 << 10, 9);
+        let large = run(1, 256 << 20, 9);
+        assert!(
+            large.mpi() > small.mpi() * 1.05,
+            "small {} vs large {}",
+            small.mpi(),
+            large.mpi()
+        );
+    }
+
+    #[test]
+    fn mpi_is_roughly_p_independent_and_coherence_is_small() {
+        let one = run(1, 256 << 20, 21);
+        let four = run(4, 256 << 20, 21);
+        let ratio = four.mpi() / one.mpi();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "MPI should not scale with P: 1P {} vs 4P {}",
+            one.mpi(),
+            four.mpi()
+        );
+        assert!(
+            four.coherence_miss_fraction() < 0.08,
+            "coherence fraction {}",
+            four.coherence_miss_fraction()
+        );
+        assert!(four.coherence_invalidations > 0, "sharing does occur");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run(2, 64 << 20, 1234);
+        let b = run(2, 64 << 20, 1234);
+        assert_eq!(a, b);
+        let c = run(2, 64 << 20, 99);
+        assert_ne!(a.user_counts, c.user_counts, "different seed differs");
+    }
+
+    #[test]
+    fn disabled_coherence_ablation_removes_invalidations() {
+        let ch = Characterizer::new(small_system(4), quick_params()).unwrap();
+        let mut dir = Directory::disabled();
+        let mut make = |_pid: usize| UniformDbSource::new(64 << 20, 0.18);
+        let c = ch.run_with_directory(&mut dir, &mut make, 5, 300_000, 200_000);
+        assert_eq!(c.coherence_invalidations, 0);
+        assert_eq!(c.user_counts.l3_coherence_misses, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_mix_and_ranges() {
+        let mut p = TraceParams::default();
+        p.mix.db += 0.2;
+        assert!(p.validate().is_err());
+        let p = TraceParams {
+            os_fraction: 1.5,
+            ..TraceParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = TraceParams {
+            processes_per_cpu: 0,
+            ..TraceParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = TraceParams {
+            instrs_per_context_switch: 0,
+            ..TraceParams::default()
+        };
+        assert!(p.validate().is_err());
+        assert!(TraceParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn higher_os_share_improves_os_locality() {
+        // The paper's Fig 11 mechanism: more time in kernel code means
+        // warmer kernel state, so OS MPI falls as the OS share grows.
+        let run_with_os = |os_fraction: f64| {
+            let params = TraceParams {
+                os_fraction,
+                ..quick_params()
+            };
+            let ch = Characterizer::new(small_system(1), params).unwrap();
+            ch.run(
+                |_| UniformDbSource::new(64 << 20, 0.18),
+                31,
+                600_000,
+                400_000,
+            )
+        };
+        let light = run_with_os(0.05);
+        let heavy = run_with_os(0.30);
+        let light_os_mpi =
+            light.os_counts.l3_misses as f64 / light.os_counts.instructions as f64;
+        let heavy_os_mpi =
+            heavy.os_counts.l3_misses as f64 / heavy.os_counts.instructions as f64;
+        assert!(
+            heavy_os_mpi < light_os_mpi,
+            "OS MPI should fall with OS share: {light_os_mpi:.5} -> {heavy_os_mpi:.5}"
+        );
+    }
+
+    #[test]
+    fn faster_context_switching_pollutes_the_caches() {
+        let run_with_cs = |instrs_per_switch: u64| {
+            let params = TraceParams {
+                instrs_per_context_switch: instrs_per_switch,
+                processes_per_cpu: 8,
+                ..TraceParams::default()
+            };
+            let ch = Characterizer::new(small_system(1), params).unwrap();
+            ch.run(
+                |_| UniformDbSource::new(64 << 20, 0.18),
+                13,
+                600_000,
+                400_000,
+            )
+        };
+        let calm = run_with_cs(400_000);
+        let frantic = run_with_cs(25_000);
+        assert!(
+            frantic.mpi() > calm.mpi(),
+            "switch-induced pollution must raise MPI: {:.5} vs {:.5}",
+            calm.mpi(),
+            frantic.mpi()
+        );
+    }
+
+    #[test]
+    fn stream_resistant_l3_policy_lowers_mpi_here_too() {
+        let lru = Characterizer::new(small_system(1), quick_params()).unwrap();
+        let bip = Characterizer::new(small_system(1), quick_params())
+            .unwrap()
+            .with_l3_policy(crate::policy::ReplacementPolicy::StreamResistant);
+        let run = |ch: &Characterizer| {
+            ch.run(
+                |_| UniformDbSource::new(256 << 20, 0.18),
+                47,
+                600_000,
+                400_000,
+            )
+        };
+        let a = run(&lru);
+        let b = run(&bip);
+        assert!(
+            b.mpi() < a.mpi() * 1.02,
+            "stream-resistant should not lose to LRU under streaming DB              traffic: LRU {:.5} vs BIP {:.5}",
+            a.mpi(),
+            b.mpi()
+        );
+    }
+
+    #[test]
+    fn uniform_source_stays_in_footprint() {
+        let mut s = UniformDbSource::new(1 << 20, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut writes = 0;
+        for _ in 0..1000 {
+            let r = s.next_ref(&mut rng);
+            assert!(r.offset < 1 << 20);
+            if r.write {
+                writes += 1;
+            }
+        }
+        assert!((300..700).contains(&writes), "write frac ~0.5: {writes}");
+    }
+}

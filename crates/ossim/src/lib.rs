@@ -1,0 +1,313 @@
+//! Operating-system model for the ODB workload-scaling study.
+//!
+//! The paper attributes the growth of OS-space path length (Fig 6) to two
+//! kernel activities: servicing disk I/O and context switching between the
+//! database's many server processes (§4.2–4.3). This crate models exactly
+//! that surface:
+//!
+//! * [`RunQueue`] — a Linux-2.4-style single ready queue feeding `P`
+//!   processors, with context-switch counting;
+//! * [`OsCosts`] — the instruction price list for kernel work (I/O
+//!   submission, completion interrupt, context switch, timeslice tick),
+//!   which the engine converts into OS-space IPX;
+//! * [`CpuAccounting`] — per-processor user/OS/idle time, from which CPU
+//!   utilization (Table 1's 90% criterion) and the OS/user split (Fig 3)
+//!   are reported.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use odb_des::SimTime;
+use std::collections::VecDeque;
+
+/// Identifies a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// Kernel instruction costs, in instructions per event.
+///
+/// These are workload constants, not measured quantities: the paper's
+/// observation is that OS IPX ≈ Σ (event rate × path length), with the
+/// event *rates* varying across configurations while the path lengths
+/// stay fixed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsCosts {
+    /// Submitting one disk I/O (syscall entry, buffer setup, driver).
+    pub io_submit_instructions: u64,
+    /// Taking one disk-completion interrupt and waking the sleeper.
+    pub io_complete_instructions: u64,
+    /// One context switch (scheduler selection + register/AS switch).
+    pub context_switch_instructions: u64,
+    /// One lock acquire/release round trip through the kernel (semop).
+    pub ipc_instructions: u64,
+    /// Per-transaction fixed syscall overhead (network send/recv with the
+    /// client, timer reads).
+    pub per_txn_syscall_instructions: u64,
+}
+
+impl Default for OsCosts {
+    /// Values representative of Linux 2.4 on IA-32 (tens of microseconds
+    /// of kernel work per I/O at 1.6 GHz).
+    fn default() -> Self {
+        Self {
+            io_submit_instructions: 28_000,
+            io_complete_instructions: 35_000,
+            context_switch_instructions: 15_000,
+            ipc_instructions: 7_000,
+            per_txn_syscall_instructions: 30_000,
+        }
+    }
+}
+
+/// Why a process stopped running (for switch accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Blocked on I/O or a lock: involuntary wait.
+    Blocked,
+    /// Used up its timeslice with others waiting.
+    Preempted,
+    /// Exited or has nothing to do.
+    Finished,
+}
+
+/// A single global ready queue feeding `P` processors (Linux 2.4 had one
+/// runqueue protected by one lock; per-CPU runqueues arrived in 2.6).
+///
+/// The engine drives it: [`RunQueue::make_ready`] when a process becomes
+/// runnable, [`RunQueue::dispatch`] when a CPU needs work,
+/// [`RunQueue::stop`] when the running process blocks or is preempted.
+#[derive(Debug, Clone)]
+pub struct RunQueue {
+    ready: VecDeque<ProcessId>,
+    running: Vec<Option<ProcessId>>,
+    context_switches: u64,
+    /// Switches that occurred because the outgoing process blocked (the
+    /// paper correlates these with disk reads).
+    blocking_switches: u64,
+}
+
+impl RunQueue {
+    /// A queue feeding `processors` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero.
+    pub fn new(processors: usize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        Self {
+            ready: VecDeque::new(),
+            running: vec![None; processors],
+            context_switches: 0,
+            blocking_switches: 0,
+        }
+    }
+
+    /// Number of processors being fed.
+    pub fn processors(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Marks a process runnable. Double-queueing is the caller's bug and
+    /// is tolerated (first dispatch wins); blocked/new processes only.
+    pub fn make_ready(&mut self, pid: ProcessId) {
+        self.ready.push_back(pid);
+    }
+
+    /// Number of runnable-but-waiting processes.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The process currently on `cpu`, if any.
+    pub fn running_on(&self, cpu: usize) -> Option<ProcessId> {
+        self.running[cpu]
+    }
+
+    /// Gives `cpu` the next ready process, recording a context switch when
+    /// the CPU changes occupant. Returns the dispatched process, or `None`
+    /// when the queue is empty (the CPU idles).
+    pub fn dispatch(&mut self, cpu: usize) -> Option<ProcessId> {
+        debug_assert!(self.running[cpu].is_none(), "stop before dispatching");
+        let next = self.ready.pop_front()?;
+        self.running[cpu] = Some(next);
+        self.context_switches += 1;
+        Some(next)
+    }
+
+    /// Takes the running process off `cpu`, requeueing it when preempted.
+    /// Returns the process that was running.
+    pub fn stop(&mut self, cpu: usize, reason: StopReason) -> Option<ProcessId> {
+        let pid = self.running[cpu].take()?;
+        match reason {
+            StopReason::Blocked => self.blocking_switches += 1,
+            StopReason::Preempted => self.ready.push_back(pid),
+            StopReason::Finished => {}
+        }
+        Some(pid)
+    }
+
+    /// Context switches recorded so far (dispatches onto a CPU).
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// The subset of switches caused by the previous occupant blocking.
+    pub fn blocking_switches(&self) -> u64 {
+        self.blocking_switches
+    }
+
+    /// Resets counters (after warm-up) without touching queue state.
+    pub fn reset_stats(&mut self) {
+        self.context_switches = 0;
+        self.blocking_switches = 0;
+    }
+}
+
+/// Per-processor time accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CpuAccounting {
+    user_ns: Vec<u64>,
+    os_ns: Vec<u64>,
+}
+
+impl CpuAccounting {
+    /// Accounting for `processors` CPUs.
+    pub fn new(processors: usize) -> Self {
+        Self {
+            user_ns: vec![0; processors],
+            os_ns: vec![0; processors],
+        }
+    }
+
+    /// Charges user-mode execution to `cpu`.
+    pub fn charge_user(&mut self, cpu: usize, span: SimTime) {
+        self.user_ns[cpu] += span.as_nanos();
+    }
+
+    /// Charges kernel-mode execution to `cpu`.
+    pub fn charge_os(&mut self, cpu: usize, span: SimTime) {
+        self.os_ns[cpu] += span.as_nanos();
+    }
+
+    /// Total busy time across CPUs.
+    pub fn busy(&self) -> SimTime {
+        let total: u64 = self.user_ns.iter().sum::<u64>() + self.os_ns.iter().sum::<u64>();
+        SimTime::from_nanos(total)
+    }
+
+    /// CPU utilization over a window: busy time over `P × window`.
+    pub fn utilization(&self, window: SimTime) -> f64 {
+        let capacity = window.as_nanos() as f64 * self.user_ns.len() as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.busy().as_nanos() as f64 / capacity).min(1.0)
+    }
+
+    /// Fraction of *busy* time spent in the kernel (Fig 3's split).
+    pub fn os_busy_fraction(&self) -> f64 {
+        let os: u64 = self.os_ns.iter().sum();
+        let busy = self.busy().as_nanos();
+        if busy == 0 {
+            return 0.0;
+        }
+        os as f64 / busy as f64
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        self.user_ns.iter_mut().for_each(|v| *v = 0);
+        self.os_ns.iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_is_fifo_and_counts_switches() {
+        let mut q = RunQueue::new(2);
+        q.make_ready(ProcessId(1));
+        q.make_ready(ProcessId(2));
+        q.make_ready(ProcessId(3));
+        assert_eq!(q.ready_len(), 3);
+        assert_eq!(q.dispatch(0), Some(ProcessId(1)));
+        assert_eq!(q.dispatch(1), Some(ProcessId(2)));
+        assert_eq!(q.running_on(0), Some(ProcessId(1)));
+        assert_eq!(q.context_switches(), 2);
+        assert_eq!(q.ready_len(), 1);
+    }
+
+    #[test]
+    fn blocked_process_leaves_queue_preempted_returns() {
+        let mut q = RunQueue::new(1);
+        q.make_ready(ProcessId(1));
+        q.make_ready(ProcessId(2));
+        q.dispatch(0);
+        assert_eq!(q.stop(0, StopReason::Blocked), Some(ProcessId(1)));
+        assert_eq!(q.blocking_switches(), 1);
+        assert_eq!(q.ready_len(), 1, "blocked pid is NOT requeued");
+        q.dispatch(0);
+        assert_eq!(q.stop(0, StopReason::Preempted), Some(ProcessId(2)));
+        assert_eq!(q.ready_len(), 1, "preempted pid IS requeued");
+        // Finishing removes without requeue.
+        q.dispatch(0);
+        assert_eq!(q.stop(0, StopReason::Finished), Some(ProcessId(2)));
+        assert_eq!(q.ready_len(), 0);
+        assert_eq!(q.dispatch(0), None, "idle CPU");
+        assert_eq!(q.stop(0, StopReason::Blocked), None);
+    }
+
+    #[test]
+    fn reset_stats_keeps_processes() {
+        let mut q = RunQueue::new(1);
+        q.make_ready(ProcessId(9));
+        q.dispatch(0);
+        q.reset_stats();
+        assert_eq!(q.context_switches(), 0);
+        assert_eq!(q.blocking_switches(), 0);
+        assert_eq!(q.running_on(0), Some(ProcessId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        let _ = RunQueue::new(0);
+    }
+
+    #[test]
+    fn accounting_utilization_and_split() {
+        let mut acc = CpuAccounting::new(2);
+        // CPU0: 600 ms user + 200 ms OS. CPU1: 400 ms user, rest idle.
+        acc.charge_user(0, SimTime::from_millis(600));
+        acc.charge_os(0, SimTime::from_millis(200));
+        acc.charge_user(1, SimTime::from_millis(400));
+        let window = SimTime::from_secs(1);
+        // busy = 1.2 s of 2 s capacity.
+        assert!((acc.utilization(window) - 0.6).abs() < 1e-12);
+        assert!((acc.os_busy_fraction() - 200.0 / 1200.0).abs() < 1e-12);
+        acc.reset();
+        assert_eq!(acc.utilization(window), 0.0);
+        assert_eq!(acc.os_busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_and_handles_zero_window() {
+        let mut acc = CpuAccounting::new(1);
+        acc.charge_user(0, SimTime::from_secs(5));
+        assert_eq!(acc.utilization(SimTime::from_secs(1)), 1.0);
+        assert_eq!(acc.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn default_costs_are_plausible() {
+        let c = OsCosts::default();
+        // One blocked read costs submit + complete + 2 switches of kernel
+        // work; at 1.6 GHz / CPI 2 that is ~40 us — the right ballpark.
+        let per_read = c.io_submit_instructions
+            + c.io_complete_instructions
+            + 2 * c.context_switch_instructions;
+        assert!((40_000..=120_000).contains(&per_read));
+    }
+}

@@ -1,0 +1,63 @@
+//! The §6.3 what-if: how do a 3x larger L3, 50% more bus bandwidth and a
+//! bigger disk array change the scaling picture? The paper validated its
+//! conjectures on a quad Itanium2; here the same comparison is one
+//! configuration swap.
+//!
+//! ```sh
+//! cargo run --release --example itanium_whatif
+//! ```
+
+use odb_core::config::SystemConfig;
+use odb_core::pivot::TwoSegmentFit;
+use odb_experiments::ladder::ConfigPoint;
+use odb_experiments::runner::{Sweep, SweepOptions};
+
+fn cpi_curve(
+    system: &SystemConfig,
+    options: &SweepOptions,
+) -> Result<(Vec<f64>, Vec<f64>), odb_core::Error> {
+    let points: Vec<ConfigPoint> = [10u32, 25, 50, 100, 200, 300, 500, 800]
+        .iter()
+        .map(|&w| ConfigPoint {
+            warehouses: w,
+            processors: 4,
+        })
+        .collect();
+    let sweep = Sweep::run_points(system, options, &points)?;
+    let xs: Vec<f64> = points.iter().map(|p| p.warehouses as f64).collect();
+    let ys: Vec<f64> = points
+        .iter()
+        .map(|p| sweep.row(4, p.warehouses).expect("measured").measurement.cpi())
+        .collect();
+    Ok((xs, ys))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = SweepOptions::standard();
+    println!("sweeping the Xeon quad (1 MB L3, 26 disks)...");
+    let (xs, xeon) = cpi_curve(&SystemConfig::xeon_quad(), &options)?;
+    println!("sweeping the Itanium2 quad (3 MB L3, +50% bus, 34 disks)...");
+    let (_, itanium) = cpi_curve(&SystemConfig::itanium2_quad(), &options)?;
+
+    println!("\n  {:>6}  {:>10}  {:>10}", "W", "Xeon CPI", "Itanium2 CPI");
+    for ((x, a), b) in xs.iter().zip(&xeon).zip(&itanium) {
+        println!("  {x:>6.0}  {a:>10.3}  {b:>10.3}");
+    }
+
+    let fx = TwoSegmentFit::fit(&xs, &xeon)?;
+    let fi = TwoSegmentFit::fit(&xs, &itanium)?;
+    println!("\ncached-region slope: Xeon {:.5}, Itanium2 {:.5}", fx.cached.slope, fi.cached.slope);
+    println!("scaled-region slope: Xeon {:.5}, Itanium2 {:.5}", fx.scaled.slope, fi.scaled.slope);
+    match (fx.pivot(), fi.pivot()) {
+        (Some(px), Some(pi)) => {
+            println!("CPI pivot: Xeon {:.0} W, Itanium2 {:.0} W", px.x, pi.x);
+            println!(
+                "\nthe paper's §6.3 finding: the larger L3 flattens the cached region,\n\
+                 the extra bus and disk bandwidth flatten the scaled region, and the\n\
+                 pivot stays near ~100 warehouses (it reports 118 W on Itanium2)."
+            );
+        }
+        _ => println!("a fit produced parallel segments; increase fidelity"),
+    }
+    Ok(())
+}

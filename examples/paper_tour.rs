@@ -1,0 +1,120 @@
+//! A guided tour of the paper, one concept at a time, against a live
+//! simulation: the iron law (§3.4), the IPX split (§4.2), the CPI
+//! breakdown (§5.1.1, Tables 3–4), the bus effect (§5.2) and the
+//! two-region model with its pivot (§6).
+//!
+//! ```sh
+//! cargo run --release --example paper_tour
+//! ```
+
+use odb_core::breakdown::{Component, CpiBreakdown, StallCosts};
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_core::pivot::TwoSegmentFit;
+use odb_core::{ironlaw, metrics::Measurement};
+use odb_engine::{OdbSimulator, SimOptions};
+
+fn measure(w: u32, c: u32, p: u32) -> Result<Measurement, odb_core::Error> {
+    let config = OltpConfig::new(
+        WorkloadConfig::new(w, c)?,
+        SystemConfig::xeon_quad().with_processors(p),
+    )?;
+    let mut options = SimOptions::quick();
+    options.iterations = 2;
+    OdbSimulator::new(config, options)?.run()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== §3.4: the iron law of database performance ==");
+    let m = measure(100, 48, 4)?;
+    let f = 1.6e9;
+    println!(
+        "  measured at 100W/48C/4P: TPS {:.0}, IPX {:.2}M, CPI {:.2}, util {:.0}%",
+        m.tps(),
+        m.ipx() / 1e6,
+        m.cpi(),
+        m.cpu_utilization * 100.0
+    );
+    let law = m.cpu_utilization * ironlaw::tps(4, f, m.ipx(), m.cpi());
+    println!(
+        "  iron law: util x P x F / (IPX x CPI) = {law:.0} TPS  ({:+.1}% vs measured)",
+        100.0 * (law - m.tps()) / m.tps()
+    );
+
+    println!("\n== §4.2: where the path length goes ==");
+    let cached = measure(10, 12, 4)?;
+    println!(
+        "  10W:  user IPX {:.2}M + OS IPX {:.2}M   ({:.1} disk reads/txn)",
+        cached.ipx_user() / 1e6,
+        cached.ipx_os() / 1e6,
+        cached.disk_reads_per_txn
+    );
+    let scaled = measure(800, 64, 4)?;
+    println!(
+        "  800W: user IPX {:.2}M + OS IPX {:.2}M   ({:.1} disk reads/txn)",
+        scaled.ipx_user() / 1e6,
+        scaled.ipx_os() / 1e6,
+        scaled.disk_reads_per_txn
+    );
+    println!("  -> the user path barely moves; the OS pays for the I/O.");
+
+    println!("\n== §5.1.1: the CPI breakdown (Tables 3-4) ==");
+    let b = CpiBreakdown::compute(
+        &scaled.total(),
+        &StallCosts::xeon(),
+        scaled.bus_transaction_cycles,
+    )?;
+    for c in Component::ALL {
+        println!(
+            "  {:>6}: {:>5.2} cycles/instr  ({:>4.1}%)",
+            c.to_string(),
+            b.component(c),
+            100.0 * b.fraction(c)
+        );
+    }
+    println!(
+        "  -> L3 misses are the bottleneck, {:.0}% of CPI, exactly the paper's story.",
+        100.0 * b.fraction(Component::L3)
+    );
+
+    println!("\n== §5.2: why CPI grows with P when MPI does not ==");
+    let one = measure(800, 13, 1)?;
+    println!(
+        "  1P: MPI {:.2}e-3, IOQ {:.0} cycles   4P: MPI {:.2}e-3, IOQ {:.0} cycles",
+        one.mpi() * 1e3,
+        one.bus_transaction_cycles,
+        scaled.mpi() * 1e3,
+        scaled.bus_transaction_cycles
+    );
+    println!("  -> same miss rate; each miss waits longer in the shared-bus IOQ.");
+
+    println!("\n== §6: the two-region model and the pivot point ==");
+    let ladder = [10u32, 50, 100, 200, 400, 800];
+    let clients = [12u32, 32, 48, 48, 56, 64];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (&w, &c) in ladder.iter().zip(&clients) {
+        let m = measure(w, c, 4)?;
+        println!("  {w:>4}W: CPI {:.3}", m.cpi());
+        xs.push(w as f64);
+        ys.push(m.cpi());
+    }
+    let fit = TwoSegmentFit::fit(&xs, &ys)?;
+    println!(
+        "  cached region:  CPI = {:.5} W + {:.3}",
+        fit.cached.slope, fit.cached.intercept
+    );
+    println!(
+        "  scaled region:  CPI = {:.5} W + {:.3}",
+        fit.scaled.slope, fit.scaled.intercept
+    );
+    match fit.pivot() {
+        Some(p) => println!(
+            "  pivot at {:.0} warehouses — the paper's Table 5 reports 130 for 4P.\n\
+             \n\"there is no mysterious chasm between small cached setups and large\n\
+             scaled setups\" — simulate past the pivot and extrapolate the rest.",
+            p.x
+        ),
+        None => println!("  segments parallel at this fidelity; rerun with standard options"),
+    }
+    Ok(())
+}

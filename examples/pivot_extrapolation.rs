@@ -1,0 +1,94 @@
+//! The paper's §6 method end-to-end: measure small configurations, fit
+//! the two-region model, locate the pivot point, choose the minimal
+//! representative workload, and extrapolate the big setups — then verify
+//! against actually simulating them.
+//!
+//! ```sh
+//! cargo run --release --example pivot_extrapolation
+//! ```
+
+use odb_core::config::SystemConfig;
+use odb_core::extrapolate::{representative_workload, Extrapolator};
+use odb_experiments::ladder::ConfigPoint;
+use odb_experiments::runner::{Sweep, SweepOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Simulate the affordable range: 10..=300 warehouses at 4P.
+    let small: Vec<ConfigPoint> = [10u32, 25, 50, 100, 200, 300]
+        .iter()
+        .map(|&w| ConfigPoint {
+            warehouses: w,
+            processors: 4,
+        })
+        .collect();
+    println!("measuring the small configurations (10..=300 W, 4P)...");
+    let options = SweepOptions::standard();
+    let sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &small)?;
+
+    let xs: Vec<f64> = small.iter().map(|p| p.warehouses as f64).collect();
+    let ys: Vec<f64> = small
+        .iter()
+        .map(|p| sweep.row(4, p.warehouses).expect("measured").measurement.cpi())
+        .collect();
+    for (x, y) in xs.iter().zip(&ys) {
+        println!("  {x:>4} W: CPI {y:.3}");
+    }
+
+    // Fit the two-region model and read off the pivot.
+    let extrapolator = Extrapolator::from_measurements(&xs, &ys)?;
+    let fit = extrapolator.fit();
+    println!(
+        "\ncached region: CPI = {:.5} x W + {:.3}   (R2 {:.3})",
+        fit.cached.slope, fit.cached.intercept, fit.cached.r_squared
+    );
+    println!(
+        "scaled region: CPI = {:.5} x W + {:.3}   (R2 {:.3})",
+        fit.scaled.slope, fit.scaled.intercept, fit.scaled.r_squared
+    );
+    match fit.pivot() {
+        Some(p) => println!("pivot point: {:.0} warehouses (CPI {:.2})", p.x, p.y),
+        None => println!("pivot point: segments are parallel"),
+    }
+    let ladder = [10u32, 25, 50, 100, 200, 300, 500, 800];
+    if let Some(rep) =
+        fit.pivot().and_then(|p| representative_workload(p.x, &ladder))
+    {
+        println!("minimal representative workload: {rep} warehouses");
+    }
+
+    // Now actually simulate the big setups and compare to extrapolation.
+    println!("\nverifying against the big configurations (500 W and 800 W)...");
+    let big: Vec<ConfigPoint> = [500u32, 800]
+        .iter()
+        .map(|&w| ConfigPoint {
+            warehouses: w,
+            processors: 4,
+        })
+        .collect();
+    let big_sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &big)?;
+    let held: Vec<(f64, f64)> = big
+        .iter()
+        .map(|p| {
+            (
+                p.warehouses as f64,
+                big_sweep
+                    .row(4, p.warehouses)
+                    .expect("measured")
+                    .measurement
+                    .cpi(),
+            )
+        })
+        .collect();
+    let report = extrapolator.validate(&held)?;
+    for (x, pred, actual) in &report.points {
+        println!(
+            "  {x:>4} W: predicted CPI {pred:.3}, simulated {actual:.3} ({:+.1}%)",
+            100.0 * (pred - actual) / actual
+        );
+    }
+    println!(
+        "\nmean absolute error {:.1}% — \"there is no need to simulate larger setups\" (§6.2)",
+        report.mape * 100.0
+    );
+    Ok(())
+}

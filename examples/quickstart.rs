@@ -1,0 +1,41 @@
+//! Quickstart: measure one OLTP configuration and check it against the
+//! iron law of database performance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_core::ironlaw;
+use odb_engine::{OdbSimulator, SimOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's machine: a 4-way 1.6 GHz Xeon MP with a 1 MB L3,
+    // 2.8 GB buffer cache and 26 disks — at 100 warehouses with the 48
+    // clients Table 1 lists for that point.
+    let config = OltpConfig::new(
+        WorkloadConfig::new(100, 48)?,
+        SystemConfig::xeon_quad(),
+    )?;
+    let frequency = config.system.frequency_hz;
+    let processors = config.system.processors;
+
+    println!("simulating 100 warehouses, 48 clients, 4 processors...");
+    let m = OdbSimulator::new(config, SimOptions::standard())?.run()?;
+
+    println!("\nmeasured over {:.1} simulated seconds:", m.elapsed_seconds);
+    println!("  TPS                 {:>10.0}", m.tps());
+    println!("  CPU utilization     {:>10.1}%", m.cpu_utilization * 100.0);
+    println!("  IPX (user / OS)     {:>6.2}M / {:.2}M", m.ipx_user() / 1e6, m.ipx_os() / 1e6);
+    println!("  CPI (user / OS)     {:>6.2} / {:.2}", m.cpi_user(), m.cpi_os());
+    println!("  L3 MPI              {:>10.4}", m.mpi());
+    println!("  disk reads per txn  {:>10.2}", m.disk_reads_per_txn);
+    println!("  context switches    {:>10.2} per txn", m.context_switches_per_txn);
+    println!("  bus utilization     {:>10.1}%", m.bus_utilization * 100.0);
+
+    // The iron law: TPS = util × P × F / (IPX × CPI).
+    let predicted = m.cpu_utilization * ironlaw::tps(processors, frequency, m.ipx(), m.cpi());
+    let error = 100.0 * (predicted - m.tps()).abs() / m.tps();
+    println!("\niron law check: predicted {predicted:.0} TPS vs measured {:.0} ({error:.1}% apart)", m.tps());
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration: one full pipeline run exercises every
+//! substrate (core → des → memsim → iosim → ossim → emon → engine) and
+//! the measurements must agree across module boundaries.
+
+use odb_core::breakdown::{Component, CpiBreakdown, StallCosts};
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_engine::{OdbSimulator, SimOptions};
+
+fn config(w: u32, c: u32, p: u32) -> OltpConfig {
+    OltpConfig::new(
+        WorkloadConfig::new(w, c).unwrap(),
+        SystemConfig::xeon_quad().with_processors(p),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pipeline_produces_internally_consistent_measurement() {
+    let art = OdbSimulator::new(config(100, 48, 4), SimOptions::quick())
+        .unwrap()
+        .run_detailed()
+        .unwrap();
+    let m = &art.measurement;
+
+    // Space split sums.
+    assert!((m.ipx_user() + m.ipx_os() - m.ipx()).abs() < 1.0);
+    // Rates and counts agree: MPI computed from counters equals the
+    // characterized rate blended by instruction mix (within rounding).
+    let rates = art.characterization.rates;
+    let user_mpi = m.mpi_user();
+    assert!(
+        (user_mpi - rates.user.l3_miss).abs() / rates.user.l3_miss < 0.01,
+        "counter-derived MPI {user_mpi} vs characterized {}",
+        rates.user.l3_miss
+    );
+    // Utilization is a fraction; OS share is a fraction of busy time.
+    assert!((0.0..=1.0).contains(&m.cpu_utilization));
+    assert!((0.0..=1.0).contains(&m.os_busy_fraction));
+    // I/O accounting: reads per txn in KB equals 8 KB per read request.
+    assert!(
+        (m.io_per_txn.read_kb - 8.0 * m.disk_reads_per_txn).abs() < 0.2,
+        "read KB {} vs 8KB x {} reads",
+        m.io_per_txn.read_kb,
+        m.disk_reads_per_txn
+    );
+    // Log volume is the ~5-6 KB/txn the transaction mix implies.
+    assert!((4.0..8.0).contains(&m.io_per_txn.log_write_kb));
+}
+
+#[test]
+fn cpi_breakdown_explains_measured_cpi() {
+    let art = OdbSimulator::new(config(200, 56, 4), SimOptions::quick())
+        .unwrap()
+        .run_detailed()
+        .unwrap();
+    let m = &art.measurement;
+    let b = CpiBreakdown::compute(&m.total(), &StallCosts::xeon(), m.bus_transaction_cycles)
+        .unwrap();
+    // Components reconstruct the measured CPI by construction of Other.
+    let total: f64 = Component::ALL.iter().map(|&c| b.component(c)).sum();
+    assert!((total - m.cpi()).abs() < 1e-6);
+    // L3 is the dominant component at scale (the paper's ~60% claim);
+    // allow a broad band since this is a reduced-fidelity run.
+    let l3_share = b.fraction(Component::L3);
+    assert!(
+        (0.35..0.8).contains(&l3_share),
+        "L3 share of CPI was {l3_share:.2}"
+    );
+    // Other is a minor residual, not a dumping ground.
+    assert!(b.fraction(Component::Other).abs() < 0.25);
+}
+
+#[test]
+fn emon_noise_stays_calibrated() {
+    let sim = OdbSimulator::new(
+        config(50, 32, 4),
+        SimOptions::quick().with_emon_noise(),
+    )
+    .unwrap();
+    let art = sim.run_detailed().unwrap();
+    // Sampling noise perturbs counters but must not distort headline
+    // metrics at these count magnitudes.
+    let rel = (art.measurement.cpi() - art.true_measurement.cpi()).abs()
+        / art.true_measurement.cpi();
+    assert!(rel < 0.05, "EMON noise moved CPI by {:.1}%", rel * 100.0);
+    assert_ne!(art.measurement.user, art.true_measurement.user);
+}
+
+#[test]
+fn saturating_the_array_caps_utilization() {
+    // A deliberately under-provisioned disk array pins CPU utilization
+    // well below the target no matter how many clients are offered —
+    // the paper's I/O-bound region.
+    let mut system = SystemConfig::xeon_quad();
+    system.disk_array.disks = 6;
+    let config = OltpConfig::new(WorkloadConfig::new(800, 64).unwrap(), system).unwrap();
+    let m = OdbSimulator::new(config, SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        m.cpu_utilization < 0.75,
+        "6 disks at 800W must be I/O bound, got util {:.2}",
+        m.cpu_utilization
+    );
+}
+
+#[test]
+fn results_are_deterministic_end_to_end() {
+    let a = OdbSimulator::new(config(50, 16, 2), SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = OdbSimulator::new(config(50, 16, 2), SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(a, b, "identical seeds must replay identically");
+}

@@ -1,0 +1,86 @@
+//! Cross-crate invariant: the iron law of database performance holds for
+//! every simulated configuration.
+//!
+//! `TPS = util × P × F / (IPX × CPI)` is not imposed anywhere — TPS comes
+//! from counting commits against the event clock, IPX from instruction
+//! accounting, CPI from busy-time accounting, utilization from idle-time
+//! accounting. Their mutual consistency is the paper's §3.4 model and the
+//! simulator's strongest self-check.
+
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_engine::{OdbSimulator, SimOptions};
+
+fn check(warehouses: u32, clients: u32, processors: u32, tolerance: f64) {
+    let system = SystemConfig::xeon_quad().with_processors(processors);
+    let frequency = system.frequency_hz;
+    let config =
+        OltpConfig::new(WorkloadConfig::new(warehouses, clients).unwrap(), system).unwrap();
+    let m = OdbSimulator::new(config, SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(m.transactions > 50, "too few transactions to compare");
+    let predicted = m.iron_law_tps(frequency);
+    let actual = m.tps();
+    let err = (predicted - actual).abs() / actual;
+    assert!(
+        err < tolerance,
+        "iron law violated at W={warehouses} C={clients} P={processors}: \
+         predicted {predicted:.1}, measured {actual:.1} ({:.1}% apart)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn iron_law_holds_cached_1p() {
+    check(10, 8, 1, 0.10);
+}
+
+#[test]
+fn iron_law_holds_cached_4p() {
+    check(10, 10, 4, 0.10);
+}
+
+#[test]
+fn iron_law_holds_midrange_2p() {
+    check(100, 16, 2, 0.10);
+}
+
+#[test]
+fn iron_law_holds_scaled_4p() {
+    check(400, 56, 4, 0.10);
+}
+
+#[test]
+fn iron_law_holds_under_contention() {
+    check(2, 24, 4, 0.10);
+}
+
+#[test]
+fn iron_law_terms_move_the_right_way() {
+    // Halving CPI-side work (frequency doubled) must raise TPS for a
+    // CPU-bound configuration; the law's terms are causal, not just
+    // descriptive.
+    let mut fast = SystemConfig::xeon_quad();
+    fast.frequency_hz *= 2.0;
+    // Plenty of clients so the CPU — not client think time — binds.
+    let slow_cfg = OltpConfig::new(
+        WorkloadConfig::new(10, 48).unwrap(),
+        SystemConfig::xeon_quad(),
+    )
+    .unwrap();
+    let fast_cfg = OltpConfig::new(WorkloadConfig::new(10, 48).unwrap(), fast).unwrap();
+    let slow = OdbSimulator::new(slow_cfg, SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    let fast = OdbSimulator::new(fast_cfg, SimOptions::quick())
+        .unwrap()
+        .run()
+        .unwrap();
+    let speedup = fast.tps() / slow.tps();
+    assert!(
+        speedup > 1.5,
+        "doubling F should approach 2x TPS when CPU-bound: got {speedup:.2}x"
+    );
+}

@@ -1,0 +1,79 @@
+//! Sweep persistence: a measured sweep must survive the CSV round trip
+//! with every figure generator producing identical output from the
+//! replayed copy.
+
+use odb_core::config::SystemConfig;
+use odb_experiments::ladder::ConfigPoint;
+use odb_experiments::persist::{sweep_from_csv, sweep_to_csv};
+use odb_experiments::runner::{Sweep, SweepOptions};
+use odb_experiments::{figures, scorecard};
+
+fn mini_sweep() -> Sweep {
+    let points: Vec<ConfigPoint> = [1u32, 4]
+        .iter()
+        .flat_map(|&p| {
+            [10u32, 50, 100, 200, 400, 800].map(|w| ConfigPoint {
+                warehouses: w,
+                processors: p,
+            })
+        })
+        .collect();
+    Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points)
+        .expect("mini sweep")
+}
+
+#[test]
+fn figures_are_identical_after_replay() {
+    let sweep = mini_sweep();
+    let csv = sweep_to_csv(&sweep);
+    let replayed = sweep_from_csv(&csv).expect("parse back");
+    assert_eq!(sweep.len(), replayed.len());
+
+    // Every figure generator renders identically from the replay.
+    assert_eq!(
+        figures::fig2(&sweep).render(),
+        figures::fig2(&replayed).render()
+    );
+    assert_eq!(
+        figures::fig7(&sweep, 4).render(),
+        figures::fig7(&replayed, 4).render()
+    );
+    assert_eq!(
+        figures::fig9(&sweep).render(),
+        figures::fig9(&replayed).render()
+    );
+    assert_eq!(
+        figures::fig12(&sweep, 4).render(),
+        figures::fig12(&replayed, 4).render()
+    );
+    assert_eq!(
+        figures::table1(&sweep).render(),
+        figures::table1(&replayed).render()
+    );
+
+    // Fit-derived artifacts agree too (same pivot to the digit).
+    let a = figures::fig17(&sweep, 4).expect("fit");
+    let b = figures::fig17(&replayed, 4).expect("fit");
+    assert_eq!(a.pivot, b.pivot);
+    assert_eq!(a.table.render(), b.table.render());
+
+    // And the scorecard scores the same.
+    let sa = scorecard::scorecard(&sweep).expect("score");
+    let sb = scorecard::scorecard(&replayed).expect("score");
+    assert_eq!(sa, sb);
+
+    // A second serialization is byte-identical (canonical form).
+    assert_eq!(csv, sweep_to_csv(&replayed));
+}
+
+#[test]
+fn html_report_renders_from_replay() {
+    let sweep = mini_sweep();
+    let csv = sweep_to_csv(&sweep);
+    let replayed = sweep_from_csv(&csv).expect("parse back");
+    let html = odb_experiments::html::report(&replayed).expect("report");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"));
+    assert!(html.contains("Scorecard"));
+    assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+}
