@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The whole gate in one command: build, tests, invariant-armed tests,
+# and the workspace static-analysis pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace --features invariants
+cargo run -p odb-analyzer

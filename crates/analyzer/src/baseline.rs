@@ -1,0 +1,203 @@
+//! The panic-site burn-down baseline.
+//!
+//! `crates/analyzer/baseline.toml` records how many non-test panic sites
+//! each audited crate is *allowed* to have. The gate fails when a crate
+//! grows beyond its entry (ratchet up is forbidden); shrinking below it
+//! produces a friendly notice to re-run `--update-baseline` so the
+//! ratchet tightens. The file is a single `[panic_sites]` table of
+//! `crate = count` pairs, parsed here without a TOML dependency.
+
+use crate::report::Violation;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Allowed panic-site counts per audited crate.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+/// Why a baseline could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file does not exist (first run).
+    Missing,
+    /// The file exists but is not a valid baseline.
+    Malformed(String),
+}
+
+impl Baseline {
+    /// Reads and parses the baseline file.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Missing`] when the file is absent;
+    /// [`LoadError::Malformed`] on unreadable or unparsable content.
+    pub fn load(path: &Path) -> Result<Baseline, LoadError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LoadError::Missing),
+            Err(e) => return Err(LoadError::Malformed(format!("read error: {e}"))),
+        };
+        Self::parse(&text)
+    }
+
+    /// Parses baseline text: comments, blank lines, a `[panic_sites]`
+    /// header, then `name = count` pairs.
+    pub fn parse(text: &str) -> Result<Baseline, LoadError> {
+        let mut counts = BTreeMap::new();
+        let mut in_section = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_section = line == "[panic_sites]";
+                if !in_section {
+                    return Err(LoadError::Malformed(format!(
+                        "line {}: unknown section {line}",
+                        n + 1
+                    )));
+                }
+                continue;
+            }
+            if !in_section {
+                return Err(LoadError::Malformed(format!(
+                    "line {}: entry before [panic_sites] header",
+                    n + 1
+                )));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(LoadError::Malformed(format!(
+                    "line {}: expected `crate = count`, got {line:?}",
+                    n + 1
+                )));
+            };
+            let key = key.trim().trim_matches('"').to_owned();
+            let count: usize = value.trim().parse().map_err(|e| {
+                LoadError::Malformed(format!("line {}: bad count {:?}: {e}", n + 1, value.trim()))
+            })?;
+            if counts.insert(key.clone(), count).is_some() {
+                return Err(LoadError::Malformed(format!(
+                    "line {}: duplicate entry for `{key}`",
+                    n + 1
+                )));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline from freshly measured counts.
+    pub fn from_counts(counts: &[(String, usize)]) -> Baseline {
+        Baseline {
+            counts: counts.iter().cloned().collect(),
+        }
+    }
+
+    /// The allowed count for `krate` (0 when the crate has no entry).
+    pub fn allowed(&self, krate: &str) -> usize {
+        self.counts.get(krate).copied().unwrap_or(0)
+    }
+
+    /// Holds measured `counts` against the baseline: growth is a
+    /// violation, shrinkage a notice suggesting `--update-baseline`.
+    pub fn check(
+        &self,
+        counts: &[(String, usize)],
+        violations: &mut Vec<Violation>,
+        notices: &mut Vec<String>,
+    ) {
+        for (krate, actual) in counts {
+            let allowed = self.allowed(krate);
+            if *actual > allowed {
+                violations.push(Violation::baseline(format!(
+                    "crate `{krate}` has {actual} non-test panic site(s), baseline allows \
+                     {allowed}; remove the new unwrap()/expect()/panic! (run with \
+                     --verbose to list every counted site) or annotate a justified one \
+                     with `// analyzer:allow(panic)`"
+                )));
+            } else if *actual < allowed {
+                notices.push(format!(
+                    "crate `{krate}` is down to {actual} panic site(s) (baseline {allowed}); \
+                     run `cargo run -p odb-analyzer -- --update-baseline` to ratchet down"
+                ));
+            }
+        }
+    }
+
+    /// Serialises to the on-disk format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-site burn-down baseline. Maintained by `odb-analyzer`:\n\
+             # counts may only go DOWN; regenerate with\n\
+             #   cargo run -p odb-analyzer -- --update-baseline\n\
+             \n[panic_sites]\n",
+        );
+        for (krate, count) in &self.counts {
+            out.push_str(&format!("{krate} = {count}\n"));
+        }
+        out
+    }
+
+    /// Writes the baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let base = Baseline::from_counts(&[("core".into(), 0), ("engine".into(), 12)]);
+        let text = base.render();
+        let again = Baseline::parse(&text).expect("roundtrip parses");
+        assert_eq!(again.allowed("core"), 0);
+        assert_eq!(again.allowed("engine"), 12);
+        assert_eq!(again.allowed("absent"), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            Baseline::parse("core = 1"),
+            Err(LoadError::Malformed(_))
+        ));
+        assert!(matches!(
+            Baseline::parse("[other]\ncore = 1"),
+            Err(LoadError::Malformed(_))
+        ));
+        assert!(matches!(
+            Baseline::parse("[panic_sites]\ncore = banana"),
+            Err(LoadError::Malformed(_))
+        ));
+        assert!(matches!(
+            Baseline::parse("[panic_sites]\ncore = 1\ncore = 2"),
+            Err(LoadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn check_flags_growth_and_notices_shrinkage() {
+        let base = Baseline::parse("[panic_sites]\ncore = 2\nengine = 5\n").expect("parses");
+        let mut violations = Vec::new();
+        let mut notices = Vec::new();
+        base.check(
+            &[("core".into(), 3), ("engine".into(), 4)],
+            &mut violations,
+            &mut notices,
+        );
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("`core`"));
+        assert_eq!(notices.len(), 1);
+        assert!(notices[0].contains("`engine`"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Project-specific static analysis for the odb-scaling workspace.
+//!
+//! The paper's conclusions rest on tight numerical identities — the iron
+//! law `TPS = (P × F)/(IPX × CPI)`, additive CPI breakdowns, piecewise
+//! pivot fits — so a silent modelling bug corrupts every downstream table
+//! while still looking plausible. This crate is the static half of the
+//! project's correctness tooling (the dynamic half is the `invariants`
+//! cargo feature on the simulation crates): a dependency-free scanner
+//! that walks the workspace source tree and enforces lints no generic
+//! tool knows about:
+//!
+//! * **panic sites** ([`lints::panic_sites`]) — `unwrap()` / `expect()` /
+//!   `panic!`-family macros are forbidden in non-test simulation library
+//!   code. Existing sites are held by a checked-in, burn-down-only
+//!   baseline ([`baseline`]); intentional contract panics carry an
+//!   explicit `// analyzer:allow(panic)` comment.
+//! * **lock order** ([`lints::lock_order`]) — every `.acquire(` call site
+//!   must sit in a file that canonically orders its targets
+//!   (`sort_by_key(canonical_order)`) before acquiring, the project's
+//!   deadlock-freedom discipline.
+//! * **raw time** ([`lints::raw_time`]) — floating-point construction of
+//!   simulated time (`from_secs_f64`, `from_nanos(x as u64)` casts) is
+//!   confined to `crates/des/src/time.rs`, which owns the rounding and
+//!   clamping contracts.
+//! * **stray files** ([`lints::stray_files`]) — editor/backup droppings
+//!   (`*.tmp`, `*.bak`, …) anywhere in the repository, and orphan `.rs`
+//!   modules under any crate's `src/` that no `mod` declaration reaches.
+//!
+//! Escape hatch: a `// analyzer:allow(<lint>)` comment on the offending
+//! line, or on the line directly above it, suppresses that lint there.
+//!
+//! Run as `cargo run -p odb-analyzer`; exits non-zero on any violation.
+
+// Unit tests use unwrap() freely; the workspace-level
+// `clippy::unwrap_used` deny applies to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod baseline;
+pub mod lints;
+pub mod report;
+pub mod source;
+
+use std::path::{Path, PathBuf};
+
+/// Everything one analysis run produced.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Violations that fail the gate, in discovery order.
+    pub violations: Vec<report::Violation>,
+    /// Non-fatal notices (e.g. a stale, too-high baseline entry).
+    pub notices: Vec<String>,
+    /// Non-test panic sites actually counted, per audited crate.
+    pub panic_counts: Vec<(String, usize)>,
+}
+
+impl Analysis {
+    /// `true` when the tree passes the gate.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root` (the directory
+/// holding the top-level `Cargo.toml` and `crates/`).
+///
+/// # Errors
+///
+/// Returns an error string when the tree cannot be read at all (missing
+/// `crates/` directory, unreadable baseline file); individual unreadable
+/// files are reported as violations instead of aborting the run.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let model = source::WorkspaceModel::load(root)?;
+    let mut violations = Vec::new();
+    let mut notices = Vec::new();
+
+    let panic_counts = lints::panic_sites(&model, &mut violations);
+    lints::lock_order(&model, &mut violations);
+    lints::raw_time(&model, &mut violations);
+    lints::stray_files(&model, &mut violations);
+
+    let baseline_path = baseline_path(root);
+    match baseline::Baseline::load(&baseline_path) {
+        Ok(base) => base.check(&panic_counts, &mut violations, &mut notices),
+        Err(baseline::LoadError::Missing) => {
+            // No baseline at all: every panic site is a violation, which
+            // forces a baseline to be checked in rather than grandfathered
+            // invisibly.
+            for (krate, count) in &panic_counts {
+                if *count > 0 {
+                    violations.push(report::Violation::baseline(format!(
+                        "crate `{krate}` has {count} panic site(s) but no baseline exists at \
+                         {}; run with --update-baseline to record them",
+                        baseline_path.display()
+                    )));
+                }
+            }
+        }
+        Err(baseline::LoadError::Malformed(why)) => {
+            return Err(format!(
+                "malformed baseline {}: {why}",
+                baseline_path.display()
+            ));
+        }
+    }
+
+    Ok(Analysis {
+        violations,
+        notices,
+        panic_counts,
+    })
+}
+
+/// Where the panic-site baseline lives, relative to the workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("crates").join("analyzer").join("baseline.toml")
+}
+
+/// Re-counts panic sites and rewrites the baseline file.
+///
+/// # Errors
+///
+/// Returns an error string when the tree or the baseline file cannot be
+/// accessed.
+pub fn update_baseline(root: &Path) -> Result<Vec<(String, usize)>, String> {
+    let model = source::WorkspaceModel::load(root)?;
+    let mut scratch = Vec::new();
+    let counts = lints::panic_sites(&model, &mut scratch);
+    baseline::Baseline::from_counts(&counts)
+        .store(&baseline_path(root))
+        .map_err(|e| format!("writing baseline: {e}"))?;
+    Ok(counts)
+}

@@ -1,0 +1,316 @@
+//! The four lint passes.
+//!
+//! Each pass pushes [`Violation`]s into a shared vector; the panic pass
+//! additionally returns per-crate site counts for the baseline ratchet.
+
+use crate::report::{Lint, Violation};
+use crate::source::{CrateModel, SourceFile, WorkspaceModel};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Crates whose library code must not panic (the simulation core).
+pub const PANIC_AUDITED: &[&str] = &["core", "des", "engine", "memsim"];
+
+/// Crates whose `.acquire(` call sites must order lock targets.
+pub const LOCK_AUDITED: &[&str] = &["engine"];
+
+/// The one file allowed to do floating-point simulated-time arithmetic.
+pub const TIME_HOME: &str = "crates/des/src/time.rs";
+
+/// Tokens that panic at runtime and are forbidden in library code.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Forbids `unwrap()`/`expect()`/`panic!`-family calls in non-test code
+/// of the audited crates, honouring `// analyzer:allow(panic)`.
+///
+/// Returns `(crate, counted_sites)` per audited crate; the caller holds
+/// the counts against the checked-in baseline. Individual sites are *not*
+/// violations by themselves — growth beyond the baseline is.
+pub fn panic_sites(
+    model: &WorkspaceModel,
+    violations: &mut Vec<Violation>,
+) -> Vec<(String, usize)> {
+    let _ = &mut *violations; // sites become violations via the baseline
+    let mut counts = Vec::new();
+    for name in PANIC_AUDITED {
+        let mut count = 0;
+        if let Some(krate) = model.get(name) {
+            for file in &krate.src_files {
+                count += file_panic_sites(file).len();
+            }
+        }
+        counts.push(((*name).to_owned(), count));
+    }
+    counts
+}
+
+/// `(line_number, token)` for every counted panic site in `file`.
+pub fn file_panic_sites(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows("panic") {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            let mut from = 0;
+            while let Some(pos) = line.code[from..].find(token) {
+                from += pos + token.len();
+                sites.push((i + 1, *token));
+            }
+        }
+    }
+    sites
+}
+
+/// Lists every counted (non-allowed, non-test) panic site of a crate, for
+/// `--verbose` output and for baseline-overflow diagnostics.
+pub fn describe_panic_sites(krate: &CrateModel) -> Vec<String> {
+    let mut out = Vec::new();
+    for file in &krate.src_files {
+        for (line, token) in file_panic_sites(file) {
+            out.push(format!("{}:{line}: {token}", file.rel_path));
+        }
+    }
+    out
+}
+
+/// Requires every `.acquire(` call site in the audited crates to live in
+/// a file that sorts its lock targets with `canonical_order` on an
+/// earlier line (the deadlock-freedom discipline), or to carry an
+/// explicit `// analyzer:allow(lock_order)` escape.
+pub fn lock_order(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
+    for name in LOCK_AUDITED {
+        let Some(krate) = model.get(name) else { continue };
+        for file in &krate.src_files {
+            // The defining module's own API (`pub fn acquire`) is not a
+            // call site; `.acquire(` is.
+            let mut sort_seen_at: Option<usize> = None;
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                if sort_seen_at.is_none()
+                    && (line.code.contains("sort_by_key(canonical_order)")
+                        || line.code.contains("sort_unstable_by_key(canonical_order)"))
+                {
+                    sort_seen_at = Some(i);
+                }
+                if line.code.contains(".acquire(") && !line.allows("lock_order") {
+                    let sorted_before = sort_seen_at.is_some_and(|s| s < i);
+                    if !sorted_before {
+                        violations.push(Violation::new(
+                            Lint::LockOrder,
+                            &file.rel_path,
+                            i + 1,
+                            "`.acquire(` call site without a preceding \
+                             `sort_by_key(canonical_order)` in this file; acquire lock \
+                             targets in canonical order (or annotate with \
+                             `// analyzer:allow(lock_order)` and justify)"
+                                .to_owned(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Confines floating-point simulated-time construction to
+/// `crates/des/src/time.rs`.
+///
+/// Two patterns are flagged outside that file (non-test code only):
+///
+/// * `from_secs_f64(` — raw float-seconds construction; use the clamping
+///   helpers (`from_nanos_f64`, `from_millis_f64`, `SimTime::mul_f64`)
+///   whose rounding contracts live in `time.rs`;
+/// * a `from_nanos(`/`from_micros(`/`from_millis(`/`from_secs(` call with
+///   an `as u64` cast on the same line — an ad-hoc float→time cast that
+///   silently truncates and has no NaN story.
+pub fn raw_time(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
+    const CONSTRUCTORS: &[&str] = &[
+        "from_nanos(",
+        "from_micros(",
+        "from_millis(",
+        "from_secs(",
+    ];
+    for krate in &model.crates {
+        for file in &krate.src_files {
+            if file.rel_path == TIME_HOME {
+                continue;
+            }
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test || line.allows("raw_time") {
+                    continue;
+                }
+                if line.code.contains("from_secs_f64(") {
+                    violations.push(Violation::new(
+                        Lint::RawTime,
+                        &file.rel_path,
+                        i + 1,
+                        "floating-point SimTime construction outside des/src/time.rs; \
+                         use from_nanos_f64/from_millis_f64/mul_f64 (or annotate with \
+                         `// analyzer:allow(raw_time)`)"
+                            .to_owned(),
+                    ));
+                }
+                if line.code.contains("as u64")
+                    && CONSTRUCTORS.iter().any(|c| line.code.contains(c))
+                {
+                    violations.push(Violation::new(
+                        Lint::RawTime,
+                        &file.rel_path,
+                        i + 1,
+                        "float→SimTime cast (`… as u64` inside a time constructor); \
+                         use SimTime::from_nanos_f64, which owns the truncation \
+                         contract"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Extensions that mark editor/tooling droppings.
+const STRAY_SUFFIXES: &[&str] = &[".tmp", ".bak", ".orig", ".rej", "~"];
+
+/// Flags stray files anywhere in the repository and orphan `.rs` modules
+/// under any crate's `src/` tree.
+pub fn stray_files(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
+    for path in &model.all_files {
+        if STRAY_SUFFIXES.iter().any(|s| path.ends_with(s)) {
+            violations.push(Violation::new(
+                Lint::StrayFile,
+                path,
+                0,
+                "stray file (editor/tooling dropping); delete it or rename it into \
+                 the tree properly"
+                    .to_owned(),
+            ));
+        }
+    }
+    for krate in &model.crates {
+        orphan_modules(krate, violations);
+    }
+}
+
+/// Breadth-first module-reachability walk from the crate roots.
+fn orphan_modules(krate: &CrateModel, violations: &mut Vec<Violation>) {
+    let files: HashMap<&str, &SourceFile> = krate
+        .src_files
+        .iter()
+        .map(|f| (f.rel_path.as_str(), f))
+        .collect();
+    let all: BTreeSet<&str> = krate.src_rs_paths.iter().map(String::as_str).collect();
+    let mut reachable: HashSet<String> = HashSet::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for path in &krate.src_rs_paths {
+        // Roots: lib.rs, main.rs, anything under src/bin/.
+        let is_root = path.ends_with("/src/lib.rs")
+            || path.ends_with("/src/main.rs")
+            || path.contains("/src/bin/");
+        if is_root {
+            reachable.insert(path.clone());
+            queue.push_back(path.clone());
+        }
+    }
+    while let Some(path) = queue.pop_front() {
+        let Some(file) = files.get(path.as_str()) else { continue };
+        // Directory that child modules resolve against: the file's own
+        // directory for lib.rs/main.rs/mod.rs, otherwise a subdirectory
+        // named after the file (2018-style `foo.rs` + `foo/bar.rs`).
+        let (dir, stem) = split_dir_stem(&path);
+        let base = if stem == "lib" || stem == "main" || stem == "mod" {
+            dir.to_owned()
+        } else {
+            format!("{dir}/{stem}")
+        };
+        for (_, name) in file.external_mods() {
+            for candidate in [
+                format!("{base}/{name}.rs"),
+                format!("{base}/{name}/mod.rs"),
+            ] {
+                if all.contains(candidate.as_str()) && reachable.insert(candidate.clone())
+                {
+                    queue.push_back(candidate);
+                }
+            }
+        }
+    }
+    for path in &krate.src_rs_paths {
+        if !reachable.contains(path) {
+            violations.push(Violation::new(
+                Lint::StrayFile,
+                path,
+                0,
+                format!(
+                    "orphan module: no `mod` declaration reaches this file from \
+                     crate `{}`'s roots",
+                    krate.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Splits `a/b/c.rs` into (`a/b`, `c`).
+fn split_dir_stem(path: &str) -> (&str, &str) {
+    let (dir, file) = path.rsplit_once('/').unwrap_or(("", path));
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    (dir, stem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn file(rel: &str, text: &str) -> SourceFile {
+        SourceFile::parse(rel.to_owned(), text)
+    }
+
+    #[test]
+    fn panic_sites_skip_tests_allows_and_comments() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "\
+fn a() { v.unwrap(); }            // one site (the comment text unwrap() is not)
+fn b() { v.expect(\"m\"); }       // two
+// analyzer:allow(panic) — contract
+fn c() { panic!(\"boom\"); }      // allowed
+fn d() { v.unwrap_or_default(); } // not a site
+#[cfg(test)]
+mod tests { fn t() { v.unwrap(); } }
+",
+        );
+        let sites = file_panic_sites(&f);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0], (1, ".unwrap()"));
+        assert_eq!(sites[1], (2, ".expect("));
+    }
+
+    #[test]
+    fn panic_family_macros_count() {
+        let f = file(
+            "x.rs",
+            "fn a() { todo!() }\nfn b() { unreachable!(\"x\") }\nfn c() { unimplemented!() }\n",
+        );
+        // `todo!()` and `unimplemented!()` with no args still match the
+        // `…!(` token form.
+        assert_eq!(file_panic_sites(&f).len(), 3);
+    }
+
+    #[test]
+    fn split_dir_stem_works() {
+        assert_eq!(
+            split_dir_stem("crates/des/src/time.rs"),
+            ("crates/des/src", "time")
+        );
+    }
+}

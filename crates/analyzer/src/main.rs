@@ -1,0 +1,149 @@
+//! `odb-analyzer` — the workspace static-analysis gate.
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+odb-analyzer — static-analysis gate for the odb-scaling workspace
+
+USAGE:
+    cargo run -p odb-analyzer [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>         workspace root (default: autodetected)
+    --update-baseline    re-count panic sites and rewrite crates/analyzer/baseline.toml
+    --verbose            list every counted panic site per audited crate
+    --help               show this help
+
+Lints: panic-site baseline (burn-down), lock_order, raw_time, stray_file.
+Escape hatch: `// analyzer:allow(<lint>)` on the offending line or the
+line directly above it.";
+
+struct Options {
+    root: Option<PathBuf>,
+    update_baseline: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: None,
+        update_baseline: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--update-baseline" => opts.update_baseline = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// The workspace root: `--root` if given, else the manifest-relative
+/// location this binary was built from, else the current directory.
+fn find_root(opts: &Options) -> PathBuf {
+    if let Some(root) = &opts.root {
+        return root.clone();
+    }
+    // When run via `cargo run -p odb-analyzer`, the manifest dir is
+    // <root>/crates/analyzer at compile time and the workspace layout is
+    // fixed, so ../../ is the root — but only trust it if it still looks
+    // like this workspace (the binary may have been copied elsewhere, or
+    // built outside cargo, where the env var is absent).
+    if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+        let compiled = std::path::Path::new(manifest).join("..").join("..");
+        if compiled.join("Cargo.toml").is_file() && compiled.join("crates").is_dir() {
+            return compiled;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(why) => {
+            eprintln!("error: {why}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_root(&opts);
+
+    if opts.update_baseline {
+        return match odb_analyzer::update_baseline(&root) {
+            Ok(counts) => {
+                println!(
+                    "baseline written to {}",
+                    odb_analyzer::baseline_path(&root).display()
+                );
+                for (krate, count) in counts {
+                    println!("  {krate} = {count}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("error: {why}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let analysis = match odb_analyzer::analyze(&root) {
+        Ok(a) => a,
+        Err(why) => {
+            eprintln!("error: {why}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.verbose {
+        match odb_analyzer::source::WorkspaceModel::load(&root) {
+            Ok(model) => {
+                for name in odb_analyzer::lints::PANIC_AUDITED {
+                    let Some(krate) = model.get(name) else { continue };
+                    let sites = odb_analyzer::lints::describe_panic_sites(krate);
+                    println!("crate `{name}`: {} counted panic site(s)", sites.len());
+                    for site in sites {
+                        println!("  {site}");
+                    }
+                }
+            }
+            Err(why) => eprintln!("error (verbose listing): {why}"),
+        }
+    }
+
+    for notice in &analysis.notices {
+        println!("note: {notice}");
+    }
+    if analysis.is_clean() {
+        let total: usize = analysis.panic_counts.iter().map(|(_, c)| c).sum();
+        println!(
+            "odb-analyzer: clean ({total} baselined panic site(s) across {} audited crate(s))",
+            analysis.panic_counts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &analysis.violations {
+            println!("{v}");
+        }
+        println!(
+            "odb-analyzer: {} violation(s) — see above",
+            analysis.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

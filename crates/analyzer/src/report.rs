@@ -1,0 +1,92 @@
+//! Violation types and rendering.
+
+use std::fmt;
+
+/// Which lint produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Panic-site count exceeded (or missing) the checked-in baseline.
+    PanicBaseline,
+    /// `.acquire(` without canonical-order sorting.
+    LockOrder,
+    /// Floating-point simulated-time construction outside `des/src/time.rs`.
+    RawTime,
+    /// Stray file or orphan module.
+    StrayFile,
+}
+
+impl Lint {
+    /// The short name used in output and in `analyzer:allow(...)` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::PanicBaseline => "panic",
+            Lint::LockOrder => "lock_order",
+            Lint::RawTime => "raw_time",
+            Lint::StrayFile => "stray_file",
+        }
+    }
+}
+
+/// One gate-failing finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Repo-relative path (empty for workspace-level findings).
+    pub path: String,
+    /// 1-based line number; 0 when the finding is about a whole file.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Violation {
+    /// A finding anchored at `path:line`.
+    pub fn new(lint: Lint, path: &str, line: usize, message: String) -> Self {
+        Violation {
+            lint,
+            path: path.to_owned(),
+            line,
+            message,
+        }
+    }
+
+    /// A workspace-level panic-baseline finding (no single anchor line).
+    pub fn baseline(message: String) -> Self {
+        Violation {
+            lint: Lint::PanicBaseline,
+            path: String::new(),
+            line: 0,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.lint.name())?;
+        if !self.path.is_empty() {
+            write!(f, "{}", self.path)?;
+            if self.line > 0 {
+                write!(f, ":{}", self.line)?;
+            }
+            write!(f, ": ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_and_without_anchor() {
+        let v = Violation::new(Lint::RawTime, "crates/x/src/a.rs", 7, "msg".into());
+        assert_eq!(v.to_string(), "[raw_time] crates/x/src/a.rs:7: msg");
+        let w = Violation::new(Lint::StrayFile, "junk.tmp", 0, "msg".into());
+        assert_eq!(w.to_string(), "[stray_file] junk.tmp: msg");
+        let b = Violation::baseline("over".into());
+        assert_eq!(b.to_string(), "[panic] over");
+    }
+}

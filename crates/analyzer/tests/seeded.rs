@@ -1,0 +1,283 @@
+//! End-to-end tests: build a miniature workspace in a temp directory,
+//! seed one violation per lint class, and check the gate trips — plus a
+//! clean tree that must pass. This is the executable form of the
+//! acceptance criterion "exits non-zero on a seeded violation of each
+//! lint class and zero on the shipped tree".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use odb_analyzer::report::Lint;
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A throwaway workspace root, removed on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> TempTree {
+        let root = std::env::temp_dir().join(format!(
+            "odb-analyzer-test-{}-{}-{tag}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&root).expect("create temp root");
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        fs::write(path, content).expect("write file");
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn crate_manifest(name: &str) -> String {
+    format!("[package]\nname = \"odb-{name}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n")
+}
+
+/// A minimal clean workspace: the audited crates exist with panic-free
+/// libraries, plus a zeroed baseline.
+fn clean_tree(tag: &str) -> TempTree {
+    let t = TempTree::new(tag);
+    t.write(
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/*\"]\nresolver = \"2\"\n",
+    );
+    for name in ["core", "des", "engine", "memsim"] {
+        t.write(&format!("crates/{name}/Cargo.toml"), &crate_manifest(name));
+        t.write(
+            &format!("crates/{name}/src/lib.rs"),
+            "//! Minimal.\npub fn touch() -> u32 { 1 }\n",
+        );
+    }
+    t.write(
+        "crates/analyzer/baseline.toml",
+        "[panic_sites]\ncore = 0\ndes = 0\nengine = 0\nmemsim = 0\n",
+    );
+    t
+}
+
+fn lints_fired(root: &Path) -> Vec<Lint> {
+    let analysis = odb_analyzer::analyze(root).expect("analysis runs");
+    analysis.violations.iter().map(|v| v.lint).collect()
+}
+
+#[test]
+fn clean_tree_passes() {
+    let t = clean_tree("clean");
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn seeded_panic_in_lib_trips_baseline() {
+    let t = clean_tree("panic");
+    t.write(
+        "crates/core/src/lib.rs",
+        "//! Doc.\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::PanicBaseline), "fired: {fired:?}");
+}
+
+#[test]
+fn test_code_and_allow_marker_do_not_trip() {
+    let t = clean_tree("panic-ok");
+    t.write(
+        "crates/core/src/lib.rs",
+        "//! Doc.\n\
+         // analyzer:allow(panic) — contract documented here\n\
+         pub fn checked(v: Option<u32>) -> u32 { v.expect(\"always set\") }\n\
+         #[cfg(test)]\n\
+         mod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+    );
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn seeded_unsorted_acquire_trips_lock_order() {
+    let t = clean_tree("lock");
+    t.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\npub fn grab(locks: &mut M, pid: u32, tgt: T) { locks.acquire(pid, tgt); }\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::LockOrder), "fired: {fired:?}");
+
+    // The same call site below a canonical_order sort is fine.
+    let t2 = clean_tree("lock-ok");
+    t2.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\npub fn grab(locks: &mut M, pid: u32, mut ts: Vec<T>) {\n\
+         \x20   ts.sort_by_key(canonical_order);\n\
+         \x20   for t in ts { locks.acquire(pid, t); }\n}\n",
+    );
+    let analysis = odb_analyzer::analyze(&t2.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn seeded_raw_time_arithmetic_trips() {
+    let t = clean_tree("rawtime");
+    t.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\npub fn later(s: f64) -> SimTime { SimTime::from_secs_f64(s * 2.0) }\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::RawTime), "fired: {fired:?}");
+
+    // ...as does an ad-hoc float→u64 cast into a constructor.
+    let t2 = clean_tree("rawtime-cast");
+    t2.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\npub fn later(ns: f64) -> SimTime { SimTime::from_nanos(ns as u64) }\n",
+    );
+    let fired2 = lints_fired(&t2.root);
+    assert!(fired2.contains(&Lint::RawTime), "fired: {fired2:?}");
+
+    // ...but the same text inside des/src/time.rs is the one home.
+    let t3 = clean_tree("rawtime-home");
+    t3.write(
+        "crates/des/src/time.rs",
+        "//! Time.\npub fn conv(ns: f64) -> u64 { ns as u64 }\n\
+         pub fn mk(s: f64) -> SimTime { SimTime::from_secs_f64(s) }\n",
+    );
+    t3.write(
+        "crates/des/src/lib.rs",
+        "//! Minimal.\npub mod time;\npub fn touch() -> u32 { 1 }\n",
+    );
+    let analysis = odb_analyzer::analyze(&t3.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn seeded_stray_file_trips() {
+    let t = clean_tree("stray");
+    t.write("crates/engine/Cargo.toml.tmp", "[package]\n");
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::StrayFile), "fired: {fired:?}");
+}
+
+#[test]
+fn seeded_orphan_module_trips() {
+    let t = clean_tree("orphan");
+    // A module file with no `mod lost;` declaration anywhere.
+    t.write(
+        "crates/core/src/lost.rs",
+        "//! Unreachable.\npub fn nobody_calls() {}\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::StrayFile), "fired: {fired:?}");
+
+    // Declaring it rescues it — both foo.rs and foo/mod.rs styles.
+    let t2 = clean_tree("orphan-ok");
+    t2.write(
+        "crates/core/src/lib.rs",
+        "//! Minimal.\npub mod found;\npub fn touch() -> u32 { 1 }\n",
+    );
+    t2.write(
+        "crates/core/src/found.rs",
+        "//! Reachable.\npub mod nested;\n",
+    );
+    t2.write(
+        "crates/core/src/found/nested/mod.rs",
+        "//! Reachable too.\npub fn f() {}\n",
+    );
+    let analysis = odb_analyzer::analyze(&t2.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn missing_baseline_with_sites_trips() {
+    let t = clean_tree("nobase");
+    fs::remove_file(t.root.join("crates/analyzer/baseline.toml")).expect("remove baseline");
+    t.write(
+        "crates/core/src/lib.rs",
+        "//! Doc.\npub fn bad() { panic!(\"boom\") }\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::PanicBaseline), "fired: {fired:?}");
+}
+
+#[test]
+fn update_baseline_then_clean() {
+    let t = clean_tree("update");
+    fs::remove_file(t.root.join("crates/analyzer/baseline.toml")).expect("remove baseline");
+    t.write(
+        "crates/core/src/lib.rs",
+        "//! Doc.\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    let counts = odb_analyzer::update_baseline(&t.root).expect("baseline written");
+    assert!(counts.iter().any(|(k, c)| k == "core" && *c == 1));
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean after update, got: {:?}",
+        analysis.violations
+    );
+}
+
+/// Smoke-test the actual binary when cargo provides its path (skipped
+/// under bare-rustc test builds).
+#[test]
+fn binary_exit_codes() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_odb-analyzer") else {
+        return;
+    };
+    let t = clean_tree("bin-clean");
+    let ok = std::process::Command::new(bin)
+        .args(["--root"])
+        .arg(&t.root)
+        .output()
+        .expect("run analyzer binary");
+    assert!(
+        ok.status.success(),
+        "clean tree should exit 0; stdout: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    let t2 = clean_tree("bin-dirty");
+    t2.write("junk.tmp", "scratch\n");
+    let bad = std::process::Command::new(bin)
+        .args(["--root"])
+        .arg(&t2.root)
+        .output()
+        .expect("run analyzer binary");
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "stray file should exit 1; stdout: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+}

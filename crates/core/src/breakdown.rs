@@ -269,6 +269,15 @@ impl CpiBreakdown {
         let l3 = per_instr(counts.l3_misses, l3_cost);
         let measured_cpi = counts.cycles as f64 / instr;
         let other = measured_cpi - (inst + branch + tlb + tc + l2 + l3);
+        // Additivity identity: the components plus the residual must
+        // reconstruct the measured CPI exactly (up to float re-association)
+        // — the breakdown is a partition of cycles, not an estimate of it.
+        #[cfg(feature = "invariants")]
+        debug_assert!(
+            ((inst + branch + tlb + tc + l2 + l3 + other) - measured_cpi).abs()
+                <= 1e-9 * measured_cpi.max(1.0),
+            "CPI breakdown does not reconstruct measured CPI"
+        );
         Ok(Self {
             inst,
             branch,

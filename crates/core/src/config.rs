@@ -220,6 +220,22 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Builds a geometry from compile-time constants known to satisfy
+    /// [`CacheGeometry::new`]'s rules; validity is asserted in debug
+    /// builds instead of unwrapped at runtime, keeping the preset
+    /// constructors panic-free.
+    fn static_geometry(size_bytes: u64, line_bytes: u32, associativity: u32) -> CacheGeometry {
+        debug_assert!(
+            CacheGeometry::new(size_bytes, line_bytes, associativity).is_ok(),
+            "preset cache geometry must be valid"
+        );
+        CacheGeometry {
+            size_bytes,
+            line_bytes,
+            associativity,
+        }
+    }
+
     /// The paper's primary machine: a 4-way 1.6 GHz Intel Xeon MP with
     /// 256 KB L2, 1 MB L3, 4 GB of memory, a 2.8 GB database buffer cache
     /// and 26 Ultra320 disks (§3.3).
@@ -229,9 +245,9 @@ impl SystemConfig {
             frequency_hz: 1.6e9,
             // The 12k-uop trace cache stores decoded traces; its effective
             // x86 code coverage is nearer 32 KB than its raw uop budget.
-            trace_cache: CacheGeometry::new(32 << 10, 64, 8).expect("static geometry"),
-            l2: CacheGeometry::new(256 << 10, 64, 8).expect("static geometry"),
-            l3: CacheGeometry::new(1 << 20, 64, 8).expect("static geometry"),
+            trace_cache: Self::static_geometry(32 << 10, 64, 8),
+            l2: Self::static_geometry(256 << 10, 64, 8),
+            l3: Self::static_geometry(1 << 20, 64, 8),
             tlb_entries: 64,
             bus: BusConfig {
                 base_transaction_cycles: 102.0,
@@ -258,10 +274,10 @@ impl SystemConfig {
         Self {
             processors: 4,
             frequency_hz: 1.5e9,
-            trace_cache: CacheGeometry::new(32 << 10, 64, 8).expect("static geometry"),
-            l2: CacheGeometry::new(256 << 10, 128, 8).expect("static geometry"),
+            trace_cache: Self::static_geometry(32 << 10, 64, 8),
+            l2: Self::static_geometry(256 << 10, 128, 8),
             // Itanium2's 3 MB L3 is 12-way with 128 B lines: 2048 sets.
-            l3: CacheGeometry::new(3 << 20, 128, 12).expect("static geometry"),
+            l3: Self::static_geometry(3 << 20, 128, 12),
             tlb_entries: 128,
             bus: BusConfig {
                 base_transaction_cycles: 95.0,

@@ -43,6 +43,10 @@
 //! # Ok::<(), odb_core::Error>(())
 //! ```
 
+// Unit tests use unwrap() freely; the workspace-level
+// `clippy::unwrap_used` deny applies to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

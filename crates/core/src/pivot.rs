@@ -79,23 +79,30 @@ impl TwoSegmentFit {
         if xs.windows(2).any(|w| w[0] >= w[1]) {
             return Err(Error::UnsortedXs);
         }
-        let mut best: Option<(f64, Self)> = None;
-        for split in Self::MIN_SEGMENT..=(xs.len() - Self::MIN_SEGMENT) {
+        let candidate_at = |split: usize| -> Result<(f64, Self), Error> {
             let cached = LinearFit::fit(&xs[..split], &ys[..split])?;
             let scaled = LinearFit::fit(&xs[split..], &ys[split..])?;
             let total_sse = cached.sse + scaled.sse;
-            let candidate = Self {
-                cached,
-                scaled,
-                split_index: split,
-                boundary_x: 0.5 * (xs[split - 1] + xs[split]),
-            };
-            match &best {
-                Some((sse, _)) if *sse <= total_sse => {}
-                _ => best = Some((total_sse, candidate)),
+            Ok((
+                total_sse,
+                Self {
+                    cached,
+                    scaled,
+                    split_index: split,
+                    boundary_x: 0.5 * (xs[split - 1] + xs[split]),
+                },
+            ))
+        };
+        // n >= 2 × MIN_SEGMENT guarantees the split range is non-empty, so
+        // seed with the first split and scan the rest — no Option needed.
+        let mut best = candidate_at(Self::MIN_SEGMENT)?;
+        for split in (Self::MIN_SEGMENT + 1)..=(xs.len() - Self::MIN_SEGMENT) {
+            let candidate = candidate_at(split)?;
+            if candidate.0 < best.0 {
+                best = candidate;
             }
         }
-        Ok(best.expect("at least one split exists for n >= 4").1)
+        Ok(best.1)
     }
 
     /// The pivot point — the intersection of the two fitted lines — or

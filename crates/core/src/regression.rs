@@ -195,7 +195,7 @@ pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<(f64, f64), Error> {
 
 /// In-place median (average of the middle two for even counts).
 fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    values.sort_by(f64::total_cmp);
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]

@@ -50,6 +50,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Sequence numbers scheduled but neither delivered nor cancelled.
     live: std::collections::HashSet<u64>,
+    /// Timestamp of the last delivered event: the simulation clock never
+    /// runs backwards, and nothing may be scheduled in the past.
+    #[cfg(feature = "invariants")]
+    last_delivered: SimTime,
 }
 
 impl<E> EventQueue<E> {
@@ -59,12 +63,20 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             live: std::collections::HashSet::new(),
+            #[cfg(feature = "invariants")]
+            last_delivered: SimTime::ZERO,
         }
     }
 
     /// Schedules `payload` for delivery at absolute time `at` and returns
     /// a handle usable with [`EventQueue::cancel`].
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        #[cfg(feature = "invariants")]
+        debug_assert!(
+            at >= self.last_delivered,
+            "event scheduled in the past: at {at} but the clock reached {}",
+            self.last_delivered
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live.insert(seq);
@@ -88,6 +100,16 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             if self.live.remove(&entry.seq) {
+                #[cfg(feature = "invariants")]
+                {
+                    debug_assert!(
+                        entry.time >= self.last_delivered,
+                        "time ran backwards: delivering {} after {}",
+                        entry.time,
+                        self.last_delivered
+                    );
+                    self.last_delivered = entry.time;
+                }
                 return Some((entry.time, entry.payload));
             }
         }
@@ -184,6 +206,21 @@ mod tests {
         q.pop();
         assert_eq!(q.peek_time(), None);
         assert!(q.is_empty());
+    }
+
+    /// With the `invariants` feature on, scheduling behind the delivered
+    /// clock trips the debug assertion instead of silently corrupting the
+    /// simulation's causality.
+    #[cfg(all(feature = "invariants", debug_assertions))]
+    #[test]
+    fn invariants_catch_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 1u8);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 1)));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(SimTime::from_nanos(5), 2);
+        }));
+        assert!(caught.is_err(), "past scheduling must trip the invariant");
     }
 
     #[test]

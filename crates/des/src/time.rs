@@ -61,6 +61,43 @@ impl SimTime {
         }
     }
 
+    /// An instant a fractional number of nanoseconds after the epoch,
+    /// truncating toward zero (`as u64` semantics); saturates at
+    /// [`SimTime::MAX`] and clamps negative or NaN input to zero.
+    ///
+    /// Use this for values that are *already* in nanoseconds (service
+    /// times computed by the device models); use [`SimTime::from_secs_f64`]
+    /// for second-denominated input, which rounds instead.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        // `as` casts on floats clamp NaN to 0 and saturate at the integer
+        // bounds; spelling it out keeps the contract readable.
+        SimTime(ns as u64)
+    }
+
+    /// An instant a fractional number of milliseconds after the epoch;
+    /// same rounding and clamping contract as [`SimTime::from_secs_f64`].
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// This instant's offset from the epoch scaled by `factor`, rounding
+    /// to the nearest nanosecond; saturates at [`SimTime::MAX`] and clamps
+    /// negative or NaN results to zero.
+    ///
+    /// This is the home for "duration × float" arithmetic (think-time
+    /// sampling, jitter): `mean.mul_f64(-u.ln())` draws an exponential
+    /// with mean `mean` without leaving the nanosecond domain.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        let ns = self.0 as f64 * factor;
+        if ns.is_nan() || ns <= 0.0 {
+            SimTime::ZERO
+        } else if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns.round() as u64)
+        }
+    }
+
     /// Nanoseconds since the epoch.
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -133,6 +170,32 @@ mod tests {
         assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(1e30), SimTime::MAX);
+    }
+
+    #[test]
+    fn float_nanos_truncate_like_as_casts() {
+        // from_nanos_f64 must be bit-identical to the `ns as u64` casts it
+        // replaced: truncation, not rounding.
+        assert_eq!(SimTime::from_nanos_f64(1_234.9).as_nanos(), 1_234);
+        assert_eq!(SimTime::from_nanos_f64(-5.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_nanos_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_nanos_f64(1e30), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_millis_f64(1.5),
+            SimTime::from_secs_f64(1.5e-3)
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_clamps() {
+        let base = SimTime::from_millis(10);
+        assert_eq!(base.mul_f64(1.5), SimTime::from_millis(15));
+        assert_eq!(base.mul_f64(0.0), SimTime::ZERO);
+        assert_eq!(base.mul_f64(-2.0), SimTime::ZERO);
+        assert_eq!(base.mul_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.mul_f64(2.0), SimTime::MAX);
+        // Exponential draw shape: mean × -ln(u) for u in (0, 1].
+        assert_eq!(base.mul_f64(-(0.5f64).ln()).as_nanos(), 6_931_472);
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl MeasurementPlan {
     /// Total sampling time: one window per event per repeat.
     pub fn total_measurement(&self) -> SimTime {
         let events = Event::ALL.len() as u64;
-        SimTime::from_nanos(self.window.as_nanos() * events * self.repeats as u64)
+        SimTime::from_nanos(self.window.as_nanos() * events * u64::from(self.repeats))
     }
 
     /// The round-robin event order: all of Table 2, `repeats` times.

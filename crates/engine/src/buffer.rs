@@ -174,10 +174,14 @@ impl BufferCache {
                     self.dirty += 1;
                 }
             }
+            #[cfg(feature = "invariants")]
+            self.check();
             return BufferAccess::Hit;
         }
         self.stats.misses += 1;
         let evicted_dirty = self.install(page, write);
+        #[cfg(feature = "invariants")]
+        self.check();
         BufferAccess::Miss { evicted_dirty }
     }
 
@@ -200,9 +204,13 @@ impl BufferCache {
                     self.dirty += 1;
                 }
             }
+            #[cfg(feature = "invariants")]
+            self.check();
             return;
         }
         self.install(page, dirty);
+        #[cfg(feature = "invariants")]
+        self.check();
     }
 
     /// Marks a resident page clean (the database writer finished writing
@@ -213,6 +221,8 @@ impl BufferCache {
             if frame.dirty {
                 frame.dirty = false;
                 self.dirty -= 1;
+                #[cfg(feature = "invariants")]
+                self.check();
                 return true;
             }
         }
@@ -257,6 +267,8 @@ impl BufferCache {
             idx = frame.prev;
             scanned += 1;
         }
+        #[cfg(feature = "invariants")]
+        self.check();
         pages
     }
 
@@ -342,6 +354,48 @@ impl BufferCache {
         }
         self.unlink(idx);
         self.push_front(idx);
+    }
+
+    /// LRU/dirty accounting consistency check, called after every mutating
+    /// operation under the `invariants` feature. Cheap size bounds run on
+    /// every call; the O(n) structural walk (list ↔ map agreement, dirty
+    /// recount) runs for small caches and periodically for large ones so
+    /// full-size (344k-frame) simulations stay usable in debug builds.
+    #[cfg(feature = "invariants")]
+    fn check(&self) {
+        debug_assert!(self.map.len() <= self.capacity, "over capacity");
+        debug_assert_eq!(
+            self.frames.len(),
+            self.map.len(),
+            "every frame stays mapped (frames are reused, never unlinked)"
+        );
+        debug_assert!(self.dirty <= self.map.len(), "dirty exceeds resident");
+        debug_assert_eq!(self.head == NIL, self.map.is_empty());
+        debug_assert_eq!(self.tail == NIL, self.map.is_empty());
+        if !(self.map.len() <= 4_096 || self.clock % 4_096 == 0) {
+            return;
+        }
+        let mut seen = 0usize;
+        let mut dirty = 0usize;
+        let mut idx = self.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            let f = &self.frames[idx as usize];
+            debug_assert_eq!(f.prev, prev, "back link broken at frame {idx}");
+            debug_assert_eq!(
+                self.map.get(&f.page),
+                Some(&idx),
+                "map entry disagrees with frame {idx}"
+            );
+            seen += 1;
+            dirty += usize::from(f.dirty);
+            debug_assert!(seen <= self.map.len(), "LRU list has a cycle");
+            prev = idx;
+            idx = f.next;
+        }
+        debug_assert_eq!(prev, self.tail, "list does not end at tail");
+        debug_assert_eq!(seen, self.map.len(), "list length != resident count");
+        debug_assert_eq!(dirty, self.dirty, "dirty flag recount mismatch");
     }
 }
 

@@ -44,6 +44,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Unit tests use unwrap() freely; the workspace-level
+// `clippy::unwrap_used` deny applies to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

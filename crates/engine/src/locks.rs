@@ -57,6 +57,12 @@ struct LockState {
 pub struct LockManager {
     locks: HashMap<LockTarget, LockState>,
     stats: LockStats,
+    /// Deadlock-freedom witness: every target each process has acquired
+    /// (held or queued) and not yet released, in acquisition order. The
+    /// `invariants` feature asserts this stays strictly increasing in
+    /// [`canonical_order`], which rules out wait cycles.
+    #[cfg(feature = "invariants")]
+    acquired: HashMap<ProcessId, Vec<LockTarget>>,
 }
 
 /// The global acquisition order: warehouse blocks before district blocks,
@@ -90,6 +96,18 @@ impl LockManager {
     /// [`LockManager::release`] by the holder transfers ownership and
     /// returns this `pid` so the engine can wake it.
     pub fn acquire(&mut self, pid: ProcessId, target: LockTarget) -> AcquireResult {
+        #[cfg(feature = "invariants")]
+        {
+            let prior = self.acquired.entry(pid).or_default();
+            debug_assert!(
+                prior
+                    .last()
+                    .is_none_or(|last| canonical_order(last) < canonical_order(&target)),
+                "process {pid:?} acquiring {target:?} out of canonical order \
+                 (already holds/waits on {prior:?}) — deadlock-freedom violated"
+            );
+            prior.push(target);
+        }
         self.stats.acquisitions += 1;
         let state = self.locks.entry(target).or_default();
         match state.holder {
@@ -113,9 +131,17 @@ impl LockManager {
     ///
     /// Panics (debug builds) if `pid` does not hold `target`.
     pub fn release(&mut self, pid: ProcessId, target: LockTarget) -> Option<ProcessId> {
+        #[cfg(feature = "invariants")]
+        if let Some(prior) = self.acquired.get_mut(&pid) {
+            prior.retain(|t| *t != target);
+            if prior.is_empty() {
+                self.acquired.remove(&pid);
+            }
+        }
         let state = self
             .locks
             .get_mut(&target)
+            // analyzer:allow(panic) — documented contract (corruption, not input)
             .expect("releasing a lock that was never acquired");
         debug_assert_eq!(state.holder, Some(pid), "release by non-holder");
         match state.waiters.pop_front() {

@@ -185,7 +185,28 @@ impl OdbSimulator {
             estimates = WorkloadEstimates::from_measurement(&measurement);
             last = Some((measurement, characterization));
         }
+        // analyzer:allow(panic) — new() rejects iterations == 0 up front.
         let (true_measurement, characterization) = last.expect("iterations >= 1");
+
+        // Iron-law identity: the measured TPS and the TPS predicted from
+        // utilization, P, F, IPX and CPI are the same quantity computed
+        // two ways, so they must agree to numerical noise. A divergence
+        // means the cycle/instruction/commit accounting has drifted apart
+        // somewhere in the simulation — exactly the silent-corruption mode
+        // this harness exists to catch.
+        #[cfg(feature = "invariants")]
+        {
+            let tps = true_measurement.tps();
+            let predicted = true_measurement.iron_law_tps(self.config.system.frequency_hz);
+            if tps > 0.0 && predicted > 0.0 {
+                let rel = (tps - predicted).abs() / predicted;
+                debug_assert!(
+                    rel <= 1e-6,
+                    "iron-law identity violated: measured {tps} TPS vs predicted \
+                     {predicted} TPS (relative error {rel:.3e} > 1e-6)"
+                );
+            }
+        }
 
         let measurement = if o.emon_noise {
             let mut emon = Emon::new(

@@ -715,7 +715,7 @@ impl SystemSim {
                                 RequestKind::Read,
                                 t.page,
                                 PAGE_BYTES,
-                                self.now + SimTime::from_nanos(elapsed_ns as u64),
+                                self.now + SimTime::from_nanos_f64(elapsed_ns),
                                 &mut self.rng,
                             );
                             self.queue.schedule(done, Event::IoDone { pid });
@@ -736,7 +736,7 @@ impl SystemSim {
                         self.complete_transaction(pid);
                         let think = self.sample_think_time();
                         self.queue.schedule(
-                            self.now + SimTime::from_nanos(elapsed_ns as u64) + think,
+                            self.now + SimTime::from_nanos_f64(elapsed_ns) + think,
                             Event::ThinkDone { pid },
                         );
                         break BurstEnd::CommitWait;
@@ -746,7 +746,7 @@ impl SystemSim {
                     {
                         self.queue.schedule(
                             self.now
-                                + SimTime::from_nanos(elapsed_ns as u64)
+                                + SimTime::from_nanos_f64(elapsed_ns)
                                 + self.params.log_group_delay,
                             Event::LogFlushStart,
                         );
@@ -756,7 +756,7 @@ impl SystemSim {
             }
         };
         self.queue.schedule(
-            self.now + SimTime::from_nanos(elapsed_ns as u64),
+            self.now + SimTime::from_nanos_f64(elapsed_ns),
             Event::BurstDone { cpu, end },
         );
     }
@@ -779,12 +779,11 @@ impl SystemSim {
 
     /// Draws an exponential think time with the configured mean.
     fn sample_think_time(&mut self) -> SimTime {
-        let mean = self.params.think_time_mean.as_secs_f64();
-        if mean <= 0.0 {
+        if self.params.think_time_mean == SimTime::ZERO {
             return SimTime::ZERO;
         }
         let u: f64 = rand::Rng::gen_range(&mut self.rng, f64::MIN_POSITIVE..1.0);
-        SimTime::from_secs_f64(-mean * u.ln())
+        self.params.think_time_mean.mul_f64(-u.ln())
     }
 
     fn submit_page_write(&mut self, page: u64) {
@@ -799,7 +798,7 @@ impl SystemSim {
     fn charge_user(&mut self, cpu: usize, n: u64) -> f64 {
         let ns = n as f64 * self.cpi_user / self.config.system.frequency_hz * 1e9;
         self.accounting
-            .charge_user(cpu, SimTime::from_nanos(ns as u64));
+            .charge_user(cpu, SimTime::from_nanos_f64(ns));
         self.user_instructions += n as f64;
         self.bus_transactions_window += n as f64 * self.rates.user.bus_transactions_per_instr();
         ns
@@ -809,7 +808,7 @@ impl SystemSim {
     fn charge_os(&mut self, cpu: usize, n: u64) -> f64 {
         let ns = n as f64 * self.cpi_os / self.config.system.frequency_hz * 1e9;
         self.accounting
-            .charge_os(cpu, SimTime::from_nanos(ns as u64));
+            .charge_os(cpu, SimTime::from_nanos_f64(ns));
         self.os_instructions += n as f64;
         self.bus_transactions_window += n as f64 * self.rates.os.bus_transactions_per_instr();
         ns

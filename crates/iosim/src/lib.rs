@@ -251,7 +251,7 @@ impl DiskArray {
             }
             _ => mean_ms,
         };
-        let service = SimTime::from_secs_f64(mean_ms * jitter / 1e3);
+        let service = SimTime::from_millis_f64(mean_ms * jitter);
         let start = disk.busy_until.max(now);
         let done = start + service;
         disk.busy_until = done;

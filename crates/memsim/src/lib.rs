@@ -23,6 +23,10 @@
 //! this crate simulates *how* the hardware responds (misses per
 //! instruction, bus latency).
 
+// Unit tests use unwrap() freely; the workspace-level
+// `clippy::unwrap_used` deny applies to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
