@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The whole gate in one command: build, tests, invariant-armed tests,
-# and the workspace static-analysis pass.
+# the workspace static-analysis pass, and the parallel-sweep perf gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -8,3 +8,18 @@ cargo build --release
 cargo test -q
 cargo test -q --workspace --features invariants
 cargo run -p odb-analyzer
+
+# Parallel-sweep smoke + wall-clock ratchet: runs the quick 27-point
+# sweep at jobs=1 and jobs=4, asserts the two are byte-identical (the
+# determinism contract of odb-experiments::runner), and fails if either
+# regresses wall-clock by >25% against the checked-in baseline.
+# ODB_BENCH_SKIP_GATE=1 skips the timing comparison (not the smoke) on
+# hosts that are not comparable to the baseline machine.
+if [ "${ODB_BENCH_SKIP_GATE:-0}" = "1" ]; then
+  cargo bench -p odb-bench --bench sweep -- \
+    --quick-only --jobs 4 --out target/BENCH_sweep.json
+else
+  cargo bench -p odb-bench --bench sweep -- \
+    --quick-only --jobs 4 --out target/BENCH_sweep.json \
+    --baseline results/BENCH_sweep.json --max-regress 0.25
+fi

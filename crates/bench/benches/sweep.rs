@@ -1,0 +1,202 @@
+//! The sweep wall-clock benchmark: the perf baseline the repo ratchets
+//! against.
+//!
+//! Times the full 27-point `paper_ladder()` sweep at quick and standard
+//! fidelity, each at `jobs = 1` and `jobs = N`, asserts that the
+//! parallel and sequential quick sweeps are **byte-identical** (the
+//! determinism smoke test CI leans on), and emits `BENCH_sweep.json`.
+//! With `--baseline FILE` it exits nonzero when any matching entry
+//! regresses wall-clock by more than `--max-regress` (default 25%).
+//!
+//! Not a criterion bench on purpose: the measured unit is minutes-long
+//! and run once, and the artifact (a small JSON file with absolute
+//! wall-clock seconds and the host core count) is the deliverable.
+//!
+//! ```text
+//! cargo bench -p odb-bench --bench sweep -- \
+//!     [--quick-only] [--jobs N] [--out FILE] [--baseline FILE] \
+//!     [--max-regress FRACTION]
+//! ```
+
+use odb_core::config::SystemConfig;
+use odb_experiments::persist::sweep_to_csv;
+use odb_experiments::runner::{Sweep, SweepOptions};
+use std::time::Instant;
+
+/// One timed sweep configuration.
+struct Entry {
+    sweep: &'static str,
+    jobs: usize,
+    points: usize,
+    seconds: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick_only = false;
+    let mut jobs: Option<usize> = None;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regress = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick-only" => quick_only = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|v| v.parse().ok());
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or(out);
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = args.get(i).cloned();
+            }
+            "--max-regress" => {
+                i += 1;
+                max_regress = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(max_regress);
+            }
+            // `cargo bench` forwards its own harness flags; ignore them.
+            "--bench" => {}
+            arg => eprintln!("ignoring unknown argument `{arg}`"),
+        }
+        i += 1;
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let jobs_n = jobs.unwrap_or(host_cores).max(1);
+
+    let system = SystemConfig::xeon_quad();
+    let mut entries: Vec<Entry> = Vec::new();
+    let fidelities: &[(&'static str, SweepOptions)] = &if quick_only {
+        vec![("quick", SweepOptions::quick())]
+    } else {
+        vec![
+            ("quick", SweepOptions::quick()),
+            ("standard", SweepOptions::standard()),
+        ]
+    };
+
+    for (name, options) in fidelities {
+        let mut csv_sequential = None;
+        for &j in &[1usize, jobs_n] {
+            eprintln!("timing the {name} sweep at jobs={j}...");
+            let started = Instant::now();
+            let sweep = Sweep::run(&system, &options.clone().with_jobs(j))
+                .expect("sweep failed");
+            let seconds = started.elapsed().as_secs_f64();
+            eprintln!("  {:.1}s for {} points", seconds, sweep.len());
+            let csv = sweep_to_csv(&sweep);
+            match &csv_sequential {
+                None => csv_sequential = Some(csv),
+                Some(reference) => assert_eq!(
+                    reference, &csv,
+                    "jobs={j} {name} sweep is not byte-identical to jobs=1"
+                ),
+            }
+            entries.push(Entry {
+                sweep: name,
+                jobs: j,
+                points: sweep.len(),
+                seconds,
+            });
+            if jobs_n == 1 {
+                break; // jobs=N would repeat the jobs=1 measurement
+            }
+        }
+    }
+
+    let json = render_json(host_cores, jobs_n, &entries);
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let mut failed = false;
+        for entry in &entries {
+            let Some(base) = baseline_seconds(&text, entry.sweep, entry.jobs) else {
+                eprintln!(
+                    "baseline has no entry for {} jobs={}; skipping",
+                    entry.sweep, entry.jobs
+                );
+                continue;
+            };
+            let limit = base * (1.0 + max_regress);
+            let verdict = if entry.seconds > limit { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "{} jobs={}: {:.1}s vs baseline {:.1}s (limit {:.1}s) — {verdict}",
+                entry.sweep, entry.jobs, entry.seconds, base, limit
+            );
+            failed |= entry.seconds > limit;
+        }
+        if failed {
+            eprintln!(
+                "sweep wall-clock regressed by more than {:.0}% against {path}",
+                max_regress * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Renders the artifact: one entry object per line so the parser below
+/// (and humans diffing the checked-in baseline) can work line-by-line.
+fn render_json(host_cores: usize, jobs_n: usize, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"odb-bench-sweep-v1\",\n");
+    s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    s.push_str(&format!("  \"jobs_n\": {jobs_n},\n"));
+    for (fidelity, key) in [("quick", "speedup_quick"), ("standard", "speedup_standard")] {
+        let time_at = |jobs: usize| {
+            entries
+                .iter()
+                .find(|e| e.sweep == fidelity && e.jobs == jobs)
+                .map(|e| e.seconds)
+        };
+        if let (Some(seq), Some(par)) = (time_at(1), time_at(jobs_n)) {
+            if jobs_n > 1 && par > 0.0 {
+                s.push_str(&format!("  \"{key}\": {:.3},\n", seq / par));
+            }
+        }
+    }
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"sweep\": \"{}\", \"jobs\": {}, \"points\": {}, \"seconds\": {:.3}}}{}\n",
+            e.sweep,
+            e.jobs,
+            e.points,
+            e.seconds,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pulls `seconds` for an `(sweep, jobs)` entry out of a baseline file
+/// written by [`render_json`] (one entry per line — no JSON dependency
+/// in this no-network workspace).
+fn baseline_seconds(text: &str, sweep: &str, jobs: usize) -> Option<f64> {
+    let sweep_tag = format!("\"sweep\": \"{sweep}\"");
+    let jobs_tag = format!("\"jobs\": {jobs},");
+    for line in text.lines() {
+        if line.contains(&sweep_tag) && line.contains(&jobs_tag) {
+            let rest = line.split("\"seconds\":").nth(1)?;
+            let num: String = rest
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return num.parse().ok();
+        }
+    }
+    None
+}

@@ -48,7 +48,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod breakdown;
 pub mod config;

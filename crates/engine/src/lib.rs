@@ -49,7 +49,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod locks;

@@ -25,6 +25,12 @@
 //! [`figures`] holds one generator per artifact; [`report`] renders
 //! aligned text tables and CSV; `ablations` (in [`figures`]) covers the
 //! §6.3 conjectures (L3 size, bus bandwidth, disk bandwidth, coherence).
+//!
+//! Sweep points are independent, so [`runner::Sweep::run_points`] runs
+//! them on a bounded worker pool ([`runner::SweepOptions::jobs`], the
+//! CLI's `--jobs`). Per-point deterministic seeding plus ordered
+//! collection make the output byte-identical at every worker count; see
+//! the [`runner`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,7 +1,7 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! odb-experiments <command> [--out DIR] [--quick]
+//! odb-experiments <command> [--out DIR] [--quick] [--jobs N]
 //!
 //! Commands:
 //!   all         every artifact below, in paper order
@@ -28,7 +28,10 @@
 //! ```
 //!
 //! Results print to stdout and are mirrored as CSV under `--out`
-//! (default `results/`). `--quick` trades fidelity for speed.
+//! (default `results/`). `--quick` trades fidelity for speed. `--jobs N`
+//! runs sweep points on `N` worker threads (default: all host cores);
+//! output is bit-identical for every `N` thanks to per-point
+//! deterministic seeding — see `odb_experiments::runner`.
 
 use odb_core::config::SystemConfig;
 use odb_experiments::figures;
@@ -37,40 +40,97 @@ use odb_experiments::runner::{Sweep, SweepOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+/// `--help` text (the command list lives in the crate docs above).
+const HELP: &str = "\
+odb-experiments — regenerate the paper's tables and figures
+
+Usage: odb-experiments [<command>] [--out DIR] [--quick] [--jobs N]
+
+Commands (default `all`): all, table1..table5, fig2..fig19,
+extrapolate, charts, scorecard, variance, report, ablations.
+
+Options:
+  --out DIR   Mirror artifacts under DIR (default `results/`).
+  --quick     Trade fidelity for speed (tests and smoke runs).
+  --jobs N    Run sweep points on N worker threads (default: all host
+              cores). Every N produces bit-identical artifacts: each
+              (W, P) point derives its seed from the point itself, and
+              rows are collected in grid order regardless of which
+              worker finishes first.
+  --help      Print this help.
+
+Environment:
+  ODB_REPLAY_SWEEP=FILE  Rebuild artifacts from a saved sweep.csv
+                         instead of re-simulating.
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut out_dir = PathBuf::from("results");
     let mut quick = false;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
             "--out" => {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).cloned().unwrap_or_default());
             }
             "--quick" => quick = true,
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             arg if command.is_none() => command = Some(arg.to_owned()),
             arg => {
-                eprintln!("unexpected argument `{arg}`");
+                eprintln!("unexpected argument `{arg}` (see --help)");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
     let command = command.unwrap_or_else(|| "all".to_owned());
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     let options = if quick {
         SweepOptions::quick()
     } else {
         SweepOptions::standard()
-    };
+    }
+    .with_jobs(jobs);
     if let Err(e) = run(&command, &options, &out_dir) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
 }
 
+/// Every command `run` accepts. Checked up front so a typo fails in
+/// milliseconds instead of after a multi-minute sweep.
+const COMMANDS: &[&str] = &[
+    "all", "table1", "table2", "table3", "table4", "table5",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19",
+    "extrapolate", "charts", "scorecard", "variance", "report", "ablations",
+];
+
 fn run(command: &str, options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    if !COMMANDS.contains(&command) {
+        eprintln!("unknown command `{command}`; see --help");
+        std::process::exit(2);
+    }
     std::fs::create_dir_all(out)?;
 
     // Static tables need no sweep.
@@ -241,7 +301,7 @@ fn dispatch(
         matched = true;
     }
     if !matched {
-        eprintln!("unknown command `{command}`; see --help in the crate docs");
+        eprintln!("unknown command `{command}`; see --help");
         std::process::exit(2);
     }
     Ok(())
