@@ -9,17 +9,39 @@ cargo test -q
 cargo test -q --workspace --features invariants
 cargo run -p odb-analyzer
 
-# Parallel-sweep smoke + wall-clock ratchet: runs the quick 27-point
-# sweep at jobs=1 and jobs=4, asserts the two are byte-identical (the
-# determinism contract of odb-experiments::runner), and fails if either
-# regresses wall-clock by >25% against the checked-in baseline.
-# ODB_BENCH_SKIP_GATE=1 skips the timing comparison (not the smoke) on
-# hosts that are not comparable to the baseline machine.
-if [ "${ODB_BENCH_SKIP_GATE:-0}" = "1" ]; then
-  cargo bench -p odb-bench --bench sweep -- \
-    --quick-only --jobs 4 --out target/BENCH_sweep.json
-else
-  cargo bench -p odb-bench --bench sweep -- \
-    --quick-only --jobs 4 --out target/BENCH_sweep.json \
-    --baseline results/BENCH_sweep.json --max-regress 0.25
+# Parallel-sweep smoke + perf gate: runs the quick 27-point sweep at
+# jobs=1 and jobs=4 and asserts the two are byte-identical (the
+# determinism contract of odb-experiments::runner) — that part runs
+# everywhere. Perf is gated host-relatively: on hosts with >= 4 cores
+# the jobs=4 sweep must be at least 1.5x faster than jobs=1, a ratio
+# computed within this run, so it holds on any machine. The absolute
+# wall-clock ratchet against the checked-in results/BENCH_sweep.json
+# (recorded on a 1-core container; 25% tolerance) is only meaningful on
+# the machine that recorded the baseline, so it is opt-in via
+# ODB_BENCH_GATE=1.
+BENCH_ARGS=(--quick-only --jobs 4 --out target/BENCH_sweep.json)
+if [ "$(nproc)" -ge 4 ]; then
+  BENCH_ARGS+=(--min-speedup 1.5)
+fi
+if [ "${ODB_BENCH_GATE:-0}" = "1" ]; then
+  BENCH_ARGS+=(--baseline results/BENCH_sweep.json --max-regress 0.25)
+fi
+cargo bench -p odb-bench --bench sweep -- "${BENCH_ARGS[@]}"
+
+# Artifact drift gate: every checked-in table/figure under results/
+# must be exactly what the current code produces — the README's
+# "regenerates bit-for-bit" claim, enforced. Replaying the archived
+# sweep (ODB_REPLAY_SWEEP) skips the expensive 27-point re-simulation;
+# the standalone artifacts (fig19, ablations, variance) re-simulate at
+# full fidelity, which is what makes this worth its ~2 min.
+# BENCH_sweep.json is per-machine timing, not a simulation artifact, so
+# it is excluded. ODB_SKIP_DRIFT_GATE=1 skips for fast local iteration.
+if [ "${ODB_SKIP_DRIFT_GATE:-0}" != "1" ]; then
+  rm -rf target/results-replay
+  mkdir -p target/results-replay
+  ODB_REPLAY_SWEEP=results/sweep.csv \
+    cargo run --release -p odb-experiments -- all --out target/results-replay \
+    > /dev/null
+  cp results/sweep.csv target/results-replay/sweep.csv
+  diff -r -x BENCH_sweep.json results target/results-replay
 fi

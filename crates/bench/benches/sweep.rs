@@ -5,8 +5,15 @@
 //! fidelity, each at `jobs = 1` and `jobs = N`, asserts that the
 //! parallel and sequential quick sweeps are **byte-identical** (the
 //! determinism smoke test CI leans on), and emits `BENCH_sweep.json`.
-//! With `--baseline FILE` it exits nonzero when any matching entry
-//! regresses wall-clock by more than `--max-regress` (default 25%).
+//! Two optional gates, both exiting nonzero on failure:
+//!
+//! * `--min-speedup RATIO` — host-relative, computed within this run:
+//!   every fidelity's `jobs = 1` vs `jobs = N` speedup must reach
+//!   `RATIO`. Robust across machines; the gate CI runs on multi-core
+//!   hosts.
+//! * `--baseline FILE --max-regress FRACTION` (default 25%) — absolute
+//!   wall-clock ratchet against a recorded baseline. Only meaningful on
+//!   the machine that recorded the baseline, so it is opt-in.
 //!
 //! Not a criterion bench on purpose: the measured unit is minutes-long
 //! and run once, and the artifact (a small JSON file with absolute
@@ -14,8 +21,8 @@
 //!
 //! ```text
 //! cargo bench -p odb-bench --bench sweep -- \
-//!     [--quick-only] [--jobs N] [--out FILE] [--baseline FILE] \
-//!     [--max-regress FRACTION]
+//!     [--quick-only] [--jobs N] [--out FILE] [--min-speedup RATIO] \
+//!     [--baseline FILE] [--max-regress FRACTION]
 //! ```
 
 use odb_core::config::SystemConfig;
@@ -31,6 +38,40 @@ struct Entry {
     seconds: f64,
 }
 
+/// Resolves `--out` / `--baseline` paths: `cargo bench` runs this
+/// binary with CWD = `crates/bench`, so a relative path would silently
+/// land (or fail to resolve) under the package directory. Relative
+/// paths are therefore anchored at the workspace root, where `ci.sh`,
+/// `results/` and `target/` live.
+fn workspace_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// The value of flag `args[i]`, or exit 2 — a typo must not silently
+/// benchmark at an unintended configuration.
+fn value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+/// Same, parsed; garbage exits 2 (mirrors the odb-experiments CLI).
+fn parsed<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    let raw = value(args, i, flag);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{raw}`");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick_only = false;
@@ -38,32 +79,43 @@ fn main() {
     let mut out = String::from("BENCH_sweep.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
+    let mut min_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick-only" => quick_only = true,
             "--jobs" => {
                 i += 1;
-                jobs = args.get(i).and_then(|v| v.parse().ok());
+                match parsed::<usize>(&args, i, "--jobs") {
+                    0 => {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                    n => jobs = Some(n),
+                }
             }
             "--out" => {
                 i += 1;
-                out = args.get(i).cloned().unwrap_or(out);
+                out = value(&args, i, "--out").to_owned();
             }
             "--baseline" => {
                 i += 1;
-                baseline = args.get(i).cloned();
+                baseline = Some(value(&args, i, "--baseline").to_owned());
             }
             "--max-regress" => {
                 i += 1;
-                max_regress = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(max_regress);
+                max_regress = parsed(&args, i, "--max-regress");
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = Some(parsed(&args, i, "--min-speedup"));
             }
             // `cargo bench` forwards its own harness flags; ignore them.
             "--bench" => {}
-            arg => eprintln!("ignoring unknown argument `{arg}`"),
+            arg => {
+                eprintln!("unknown argument `{arg}`");
+                std::process::exit(2);
+            }
         }
         i += 1;
     }
@@ -111,13 +163,49 @@ fn main() {
     }
 
     let json = render_json(host_cores, jobs_n, &entries);
-    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
-    eprintln!("wrote {out}");
+    let out_path = workspace_path(&out);
+    if let Some(parent) = out_path.parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {}", out_path.display());
     print!("{json}");
 
+    // Host-relative gate: computed entirely within this run, so it is
+    // meaningful on any machine (unlike the absolute baseline below).
+    if let Some(min) = min_speedup {
+        if jobs_n == 1 {
+            eprintln!("--min-speedup ignored: jobs=1 measures no parallel sweep");
+        }
+        let mut failed = false;
+        for (name, _) in fidelities {
+            let time_at = |jobs: usize| {
+                entries
+                    .iter()
+                    .find(|e| e.sweep == *name && e.jobs == jobs)
+                    .map(|e| e.seconds)
+            };
+            if let (Some(seq), Some(par)) = (time_at(1), time_at(jobs_n)) {
+                if jobs_n > 1 && par > 0.0 {
+                    let speedup = seq / par;
+                    let verdict = if speedup < min { "TOO SLOW" } else { "ok" };
+                    eprintln!(
+                        "{name}: jobs={jobs_n} speedup {speedup:.2}x (floor {min:.2}x) — {verdict}"
+                    );
+                    failed |= speedup < min;
+                }
+            }
+        }
+        if failed {
+            eprintln!("parallel sweep speedup fell below the {min:.2}x floor");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = baseline {
+        let path = workspace_path(&path);
         let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
         let mut failed = false;
         for entry in &entries {
             let Some(base) = baseline_seconds(&text, entry.sweep, entry.jobs) else {
@@ -137,8 +225,9 @@ fn main() {
         }
         if failed {
             eprintln!(
-                "sweep wall-clock regressed by more than {:.0}% against {path}",
-                max_regress * 100.0
+                "sweep wall-clock regressed by more than {:.0}% against {}",
+                max_regress * 100.0,
+                path.display()
             );
             std::process::exit(1);
         }

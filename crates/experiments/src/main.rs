@@ -116,48 +116,103 @@ fn main() {
     }
 }
 
-/// Every command `run` accepts. Checked up front so a typo fails in
-/// milliseconds instead of after a multi-minute sweep.
-const COMMANDS: &[&str] = &[
-    "all", "table1", "table2", "table3", "table4", "table5",
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19",
-    "extrapolate", "charts", "scorecard", "variance", "report", "ablations",
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// How a command produces its artifact. The variant decides whether the
+/// shared Xeon sweep is prepared at all — `table2` alone must never
+/// trigger a 27-point simulation.
+enum Handler {
+    /// A paper-constant table: no simulation at all.
+    Static(&'static str, fn() -> TextTable),
+    /// A table projected from the shared Xeon sweep.
+    Table(&'static str, fn(&Sweep) -> TextTable),
+    /// Like `Table`, for projections that can fail.
+    Fallible(&'static str, fn(&Sweep) -> Result<TextTable, odb_core::Error>),
+    /// Full custom access to the shared sweep (fit titles, HTML, …).
+    Custom(fn(&Sweep, &SweepOptions, &Path) -> CmdResult),
+    /// Runs its own simulations, independent of the shared sweep.
+    Standalone(fn(&SweepOptions, &Path) -> CmdResult),
+}
+
+/// The one command table: drives both the up-front validation (a typo
+/// fails in milliseconds instead of after a multi-minute sweep) and
+/// dispatch, so the two cannot drift. Table order is `all`'s execution
+/// order — the paper's artifact order.
+const COMMANDS: &[(&str, Handler)] = &[
+    ("table1", Handler::Table("Table 1: clients at 90% CPU utilization (* = target unreachable)", figures::table1)),
+    ("fig2", Handler::Table("Figure 2: ODB TPS with P and W scaling", figures::fig2)),
+    ("fig3", Handler::Table("Figure 3: CPU utilization split, OS and user (%)", figures::fig3)),
+    ("fig4", Handler::Table("Figure 4: millions of instructions per transaction", figures::fig4)),
+    ("fig5", Handler::Table("Figure 5: user-space IPX (millions)", figures::fig5)),
+    ("fig6", Handler::Table("Figure 6: OS-space IPX (millions)", figures::fig6)),
+    ("fig7", Handler::Table("Figure 7: disk I/O per transaction (KB), 4P", fig7_4p)),
+    ("fig8", Handler::Table("Figure 8: context switches per transaction", figures::fig8)),
+    ("fig9", Handler::Table("Figure 9: overall CPI", figures::fig9)),
+    ("fig10", Handler::Table("Figure 10: user-space CPI", figures::fig10)),
+    ("fig11", Handler::Table("Figure 11: OS-space CPI", figures::fig11)),
+    ("table2", Handler::Static("Table 2: performance-monitoring events", figures::table2)),
+    ("table3", Handler::Static("Table 3: clock-cycle cost per event", figures::table3)),
+    ("table4", Handler::Static("Table 4: CPI component formulas", figures::table4)),
+    ("fig12", Handler::Table("Figure 12: CPI breakdown by event, 4P", fig12_4p)),
+    ("fig13", Handler::Table("Figure 13: L3 misses per instruction (x1000)", figures::fig13)),
+    ("fig14", Handler::Table("Figure 14: user-space MPI (x1000)", figures::fig14)),
+    ("fig15", Handler::Table("Figure 15: OS-space MPI (x1000)", figures::fig15)),
+    ("fig16", Handler::Table("Figure 16: bus-transaction time in the IOQ (cycles)", figures::fig16)),
+    ("fig17", Handler::Custom(fig17)),
+    ("fig18", Handler::Custom(fig18)),
+    ("table5", Handler::Fallible("Table 5: warehouses at the CPI/MPI pivot points", figures::table5)),
+    ("extrapolate", Handler::Fallible("Section 6.2: extrapolation from configurations <= 300W (4P CPI)", extrapolate)),
+    ("scorecard", Handler::Custom(scorecard)),
+    ("report", Handler::Custom(report)),
+    ("charts", Handler::Custom(charts)),
+    ("fig19", Handler::Standalone(fig19)),
+    ("ablations", Handler::Standalone(ablations)),
+    ("variance", Handler::Standalone(variance)),
 ];
 
-fn run(command: &str, options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::error::Error>> {
-    if !COMMANDS.contains(&command) {
+fn run(command: &str, options: &SweepOptions, out: &Path) -> CmdResult {
+    let all = command == "all";
+    if !all && !COMMANDS.iter().any(|(name, _)| *name == command) {
         eprintln!("unknown command `{command}`; see --help");
         std::process::exit(2);
     }
     std::fs::create_dir_all(out)?;
+    let selected: Vec<&(&str, Handler)> = COMMANDS
+        .iter()
+        .filter(|(name, _)| all || *name == command)
+        .collect();
 
-    // Static tables need no sweep.
-    match command {
-        "table2" => return emit(out, "table2", "Table 2: performance-monitoring events", &figures::table2()),
-        "table3" => return emit(out, "table3", "Table 3: clock-cycle cost per event", &figures::table3()),
-        "table4" => return emit(out, "table4", "Table 4: CPI component formulas", &figures::table4()),
-        _ => {}
+    let needs_sweep = selected
+        .iter()
+        .any(|(_, h)| !matches!(h, Handler::Static(..) | Handler::Standalone(..)));
+    let sweep = if needs_sweep {
+        Some(xeon_sweep(options, out)?)
+    } else {
+        None
+    };
+    let shared = || sweep.as_ref().ok_or("internal: sweep not prepared");
+    for (name, handler) in selected {
+        match handler {
+            Handler::Static(title, table) => emit(out, name, title, &table())?,
+            Handler::Table(title, table) => emit(out, name, title, &table(shared()?))?,
+            Handler::Fallible(title, table) => emit(out, name, title, &table(shared()?)?)?,
+            Handler::Custom(f) => f(shared()?, options, out)?,
+            Handler::Standalone(f) => f(options, out)?,
+        }
     }
+    Ok(())
+}
 
-    // Fig 19 runs its own (Itanium2) sweep.
-    if command == "fig19" {
-        return fig19(options, out);
-    }
-    if command == "ablations" {
-        return ablations(options, out);
-    }
-    if command == "variance" {
-        return variance(options, out);
-    }
-
-    // Replay a saved sweep when available and asked for, else simulate.
-    let replay = std::env::var_os("ODB_REPLAY_SWEEP");
-    let sweep = match replay {
+/// The shared Xeon sweep behind the table/figure commands: replayed
+/// from `ODB_REPLAY_SWEEP` when set, else simulated (and archived as
+/// `sweep.csv` for later replay).
+fn xeon_sweep(options: &SweepOptions, out: &Path) -> Result<Sweep, Box<dyn std::error::Error>> {
+    match std::env::var_os("ODB_REPLAY_SWEEP") {
         Some(path) => {
             eprintln!("replaying sweep from {}...", path.to_string_lossy());
-            odb_experiments::persist::sweep_from_csv(&std::fs::read_to_string(path)?)?
+            Ok(odb_experiments::persist::sweep_from_csv(
+                &std::fs::read_to_string(path)?,
+            )?)
         }
         None => {
             eprintln!("running the Xeon sweep (27 configurations with client search)...");
@@ -166,149 +221,59 @@ fn run(command: &str, options: &SweepOptions, out: &Path) -> Result<(), Box<dyn 
                 out.join("sweep.csv"),
                 odb_experiments::persist::sweep_to_csv(&sweep),
             )?;
-            sweep
+            Ok(sweep)
         }
-    };
-    dispatch(command, &sweep, options, out)
+    }
 }
 
-fn dispatch(
-    command: &str,
-    sweep: &Sweep,
-    options: &SweepOptions,
-    out: &Path,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let all = command == "all";
-    let mut matched = false;
-    let mut artifact = |name: &str,
-                        title: &str,
-                        table: TextTable|
-     -> Result<(), Box<dyn std::error::Error>> {
-        matched = true;
-        emit(out, name, title, &table)
-    };
+fn fig7_4p(sweep: &Sweep) -> TextTable {
+    figures::fig7(sweep, 4)
+}
 
-    if all || command == "table1" {
-        artifact(
-            "table1",
-            "Table 1: clients at 90% CPU utilization (* = target unreachable)",
-            figures::table1(sweep),
-        )?;
-    }
-    if all || command == "fig2" {
-        artifact("fig2", "Figure 2: ODB TPS with P and W scaling", figures::fig2(sweep))?;
-    }
-    if all || command == "fig3" {
-        artifact("fig3", "Figure 3: CPU utilization split, OS and user (%)", figures::fig3(sweep))?;
-    }
-    if all || command == "fig4" {
-        artifact("fig4", "Figure 4: millions of instructions per transaction", figures::fig4(sweep))?;
-    }
-    if all || command == "fig5" {
-        artifact("fig5", "Figure 5: user-space IPX (millions)", figures::fig5(sweep))?;
-    }
-    if all || command == "fig6" {
-        artifact("fig6", "Figure 6: OS-space IPX (millions)", figures::fig6(sweep))?;
-    }
-    if all || command == "fig7" {
-        artifact("fig7", "Figure 7: disk I/O per transaction (KB), 4P", figures::fig7(sweep, 4))?;
-    }
-    if all || command == "fig8" {
-        artifact("fig8", "Figure 8: context switches per transaction", figures::fig8(sweep))?;
-    }
-    if all || command == "fig9" {
-        artifact("fig9", "Figure 9: overall CPI", figures::fig9(sweep))?;
-    }
-    if all || command == "fig10" {
-        artifact("fig10", "Figure 10: user-space CPI", figures::fig10(sweep))?;
-    }
-    if all || command == "fig11" {
-        artifact("fig11", "Figure 11: OS-space CPI", figures::fig11(sweep))?;
-    }
-    if all {
-        artifact("table2", "Table 2: performance-monitoring events", figures::table2())?;
-        artifact("table3", "Table 3: clock-cycle cost per event", figures::table3())?;
-        artifact("table4", "Table 4: CPI component formulas", figures::table4())?;
-    }
-    if all || command == "fig12" {
-        artifact("fig12", "Figure 12: CPI breakdown by event, 4P", figures::fig12(sweep, 4))?;
-    }
-    if all || command == "fig13" {
-        artifact("fig13", "Figure 13: L3 misses per instruction (x1000)", figures::fig13(sweep))?;
-    }
-    if all || command == "fig14" {
-        artifact("fig14", "Figure 14: user-space MPI (x1000)", figures::fig14(sweep))?;
-    }
-    if all || command == "fig15" {
-        artifact("fig15", "Figure 15: OS-space MPI (x1000)", figures::fig15(sweep))?;
-    }
-    if all || command == "fig16" {
-        artifact("fig16", "Figure 16: bus-transaction time in the IOQ (cycles)", figures::fig16(sweep))?;
-    }
-    if all || command == "fig17" {
-        let r = figures::fig17(sweep, 4)?;
-        let title = fit_title("Figure 17: CPI linear approximation, 4P", &r);
-        artifact("fig17", &title, r.table)?;
-    }
-    if all || command == "fig18" {
-        let r = figures::fig18(sweep, 4)?;
-        let title = fit_title("Figure 18: MPI linear approximation, 4P", &r);
-        artifact("fig18", &title, r.table)?;
-    }
-    if all || command == "table5" {
-        artifact(
-            "table5",
-            "Table 5: warehouses at the CPI/MPI pivot points",
-            figures::table5(sweep)?,
-        )?;
-    }
-    if all || command == "extrapolate" {
-        artifact(
-            "extrapolate",
-            "Section 6.2: extrapolation from configurations <= 300W (4P CPI)",
-            figures::extrapolation_check(sweep, 4, 300)?,
-        )?;
-    }
-    if all || command == "scorecard" {
-        matched = true;
-        let checks = odb_experiments::scorecard::scorecard(sweep)?;
-        let table = odb_experiments::scorecard::render(&checks);
-        let passed = checks.iter().filter(|c| c.pass).count();
-        emit(
-            out,
-            "scorecard",
-            &format!(
-                "Scorecard: measured vs published anchors ({passed}/{} pass)",
-                checks.len()
-            ),
-            &table,
-        )?;
-    }
-    if all || command == "report" {
-        matched = true;
-        let html = odb_experiments::html::report(sweep)?;
-        std::fs::write(out.join("report.html"), &html)?;
-        eprintln!("wrote {}", out.join("report.html").display());
-    }
-    if all || command == "charts" {
-        matched = true;
-        charts(sweep, out)?;
-    }
-    if all {
-        fig19(options, out)?;
-        ablations(options, out)?;
-        variance(options, out)?;
-        matched = true;
-    }
-    if !matched {
-        eprintln!("unknown command `{command}`; see --help");
-        std::process::exit(2);
-    }
+fn fig12_4p(sweep: &Sweep) -> TextTable {
+    figures::fig12(sweep, 4)
+}
+
+fn extrapolate(sweep: &Sweep) -> Result<TextTable, odb_core::Error> {
+    figures::extrapolation_check(sweep, 4, 300)
+}
+
+fn fig17(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {
+    let r = figures::fig17(sweep, 4)?;
+    let title = fit_title("Figure 17: CPI linear approximation, 4P", &r);
+    emit(out, "fig17", &title, &r.table)
+}
+
+fn fig18(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {
+    let r = figures::fig18(sweep, 4)?;
+    let title = fit_title("Figure 18: MPI linear approximation, 4P", &r);
+    emit(out, "fig18", &title, &r.table)
+}
+
+fn scorecard(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {
+    let checks = odb_experiments::scorecard::scorecard(sweep)?;
+    let table = odb_experiments::scorecard::render(&checks);
+    let passed = checks.iter().filter(|c| c.pass).count();
+    emit(
+        out,
+        "scorecard",
+        &format!(
+            "Scorecard: measured vs published anchors ({passed}/{} pass)",
+            checks.len()
+        ),
+        &table,
+    )
+}
+
+fn report(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {
+    let html = odb_experiments::html::report(sweep)?;
+    std::fs::write(out.join("report.html"), &html)?;
+    eprintln!("wrote {}", out.join("report.html").display());
     Ok(())
 }
 
 /// Renders the headline figures as ASCII line charts into charts.txt.
-fn charts(sweep: &Sweep, out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+fn charts(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {
     use odb_experiments::chart::{ascii_chart, ChartOptions};
     use odb_experiments::figures::metric_series;
     let options = ChartOptions::default();
