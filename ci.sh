@@ -9,6 +9,16 @@ cargo test -q
 cargo test -q --workspace --features invariants
 cargo run -p odb-analyzer
 
+# Panic-freedom ratchet: the analyzer above enforces "no worse than
+# baseline"; this check pins the baseline itself at zero for every
+# audited crate, so a future change cannot quietly re-baseline a panic
+# site back into the simulation core.
+if grep -Eq '^[a-z_]+ *= *[1-9]' crates/analyzer/baseline.toml; then
+  echo "ci.sh: nonzero panic_sites entry in crates/analyzer/baseline.toml:" >&2
+  grep -E '^[a-z_]+ *= *[1-9]' crates/analyzer/baseline.toml >&2
+  exit 1
+fi
+
 # Parallel-sweep smoke + perf gate: runs the quick 27-point sweep at
 # jobs=1 and jobs=4 and asserts the two are byte-identical (the
 # determinism contract of odb-experiments::runner) — that part runs

@@ -103,12 +103,13 @@ fn fig19(c: &mut Criterion) {
                 processors: 4,
             })
             .collect();
-        Sweep::run_points(
+        let sweep = Sweep::run_points(
             &SystemConfig::itanium2_quad(),
             &SweepOptions::quick(),
             &points,
-        )
-        .expect("itanium sweep")
+        );
+        sweep.ensure_complete().expect("itanium sweep");
+        sweep
     });
     let report = figures::fig17(sweep, 4).expect("fit");
     println!("\n== fig19_itanium_cpi ==\n{}", report.table.render());

@@ -80,12 +80,12 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload");
     group.throughput(Throughput::Elements(1));
-    let mut sampler = TxnSampler::new(PageMap::new(800));
+    let mut sampler = TxnSampler::new(PageMap::new(800)).unwrap();
     let mut rng = SmallRng::seed_from_u64(4);
     group.bench_function("txn_sample_800w", |b| {
         b.iter(|| black_box(sampler.sample(&mut rng).touches.len()))
     });
-    let zipf = Zipf::new(100_000, 1.0);
+    let zipf = Zipf::new(100_000, 1.0).unwrap();
     group.bench_function("zipf_sample_100k", |b| {
         b.iter(|| black_box(zipf.sample(&mut rng)))
     });

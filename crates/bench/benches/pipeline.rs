@@ -25,7 +25,7 @@ fn bench_characterization(c: &mut Criterion) {
     let cfg = config(100, 48, 4);
     let params = trace_params(&cfg, &WorkloadEstimates::initial());
     let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
-    let sampler = TxnSampler::new(PageMap::new(100));
+    let sampler = TxnSampler::new(PageMap::new(100)).unwrap();
     group.bench_function("characterize_400k_instr_4p", |b| {
         b.iter(|| {
             characterizer.run(
@@ -45,7 +45,7 @@ fn bench_system_sim(c: &mut Criterion) {
     let cfg = config(100, 48, 4);
     let params = trace_params(&cfg, &WorkloadEstimates::initial());
     let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
-    let sampler = TxnSampler::new(PageMap::new(100));
+    let sampler = TxnSampler::new(PageMap::new(100)).unwrap();
     let rates = characterizer
         .run(
             |_| OdbRefSource::with_sampler(sampler.clone(), 4),
@@ -53,12 +53,13 @@ fn bench_system_sim(c: &mut Criterion) {
             400_000,
             300_000,
         )
+        .unwrap()
         .rates;
     group.bench_function("system_sim_1s_100w_4p", |b| {
         b.iter(|| {
             let mut sim =
                 SystemSim::new(cfg.clone(), SystemParams::default(), rates, 42).unwrap();
-            sim.run_for(SimTime::from_secs(1));
+            sim.run_for(SimTime::from_secs(1)).unwrap();
             sim.committed()
         })
     });

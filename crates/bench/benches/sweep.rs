@@ -138,8 +138,8 @@ fn main() {
         for &j in &[1usize, jobs_n] {
             eprintln!("timing the {name} sweep at jobs={j}...");
             let started = Instant::now();
-            let sweep = Sweep::run(&system, &options.clone().with_jobs(j))
-                .expect("sweep failed");
+            let sweep = Sweep::run(&system, &options.clone().with_jobs(j));
+            sweep.ensure_complete().expect("sweep failed");
             let seconds = started.elapsed().as_secs_f64();
             eprintln!("  {:.1}s for {} points", seconds, sweep.len());
             let csv = sweep_to_csv(&sweep);

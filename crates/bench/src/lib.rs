@@ -35,8 +35,9 @@ pub fn bench_sweep() -> Sweep {
             })
         })
         .collect();
-    Sweep::run_points(&SystemConfig::xeon_quad(), &options, &points)
-        .expect("bench sweep must run")
+    let sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &points);
+    sweep.ensure_complete().expect("bench sweep must run");
+    sweep
 }
 
 #[cfg(test)]

@@ -44,6 +44,32 @@ pub enum Error {
     /// The data points are not sorted by strictly increasing `x`, which the
     /// two-segment fit requires to define contiguous regions.
     UnsortedXs,
+    /// A simulator component observed internal state that violates one of
+    /// its invariants (a lock released by a non-holder, a flush completion
+    /// with no flush in flight, a poisoned CDF, …).
+    ///
+    /// Unlike [`Error::InvalidConfig`], which rejects *inputs*, this
+    /// variant reports corruption *inside* a running simulation. Callers
+    /// should treat it as fatal for the affected simulation point but may
+    /// continue with other points; the state it describes is not
+    /// recoverable.
+    CorruptState {
+        /// The component that detected the corruption, e.g.
+        /// `"engine::locks"` or `"memsim::dist"`.
+        component: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::CorruptState`].
+    pub fn corrupt(component: &'static str, detail: impl Into<String>) -> Self {
+        Error::CorruptState {
+            component,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -61,6 +87,9 @@ impl fmt::Display for Error {
                 write!(f, "invalid configuration field `{field}`: {reason}")
             }
             Error::UnsortedXs => write!(f, "x values must be strictly increasing"),
+            Error::CorruptState { component, detail } => {
+                write!(f, "corrupt state in {component}: {detail}")
+            }
         }
     }
 }
@@ -83,6 +112,7 @@ mod tests {
                 reason: "must be nonzero".to_owned(),
             },
             Error::UnsortedXs,
+            Error::corrupt("engine::locks", "release of a lock that was never acquired"),
         ];
         for e in errs {
             let s = e.to_string();

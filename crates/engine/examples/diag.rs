@@ -15,9 +15,9 @@ fn main() {
         let config = OltpConfig::new(WorkloadConfig::new(w, c).unwrap(),
             SystemConfig::xeon_quad().with_processors(p)).unwrap();
         let mut s = SystemSim::new(config, SystemParams::default(), flat_rates(), 42).unwrap();
-        s.run_for(SimTime::from_secs(1));
+        s.run_for(SimTime::from_secs(1)).unwrap();
         s.reset_stats();
-        s.run_for(SimTime::from_secs(3));
+        s.run_for(SimTime::from_secs(3)).unwrap();
         let m = s.collect();
         println!("W={w:4} C={c:2} P={p}  TPS={:6.0} util={:.2} os%={:.2} cs/txn={:5.2} reads/txn={:5.2} logKB={:4.1} pwKB={:4.1} cpi={:.2} ipx={:.2}M conflicts={:.3} busutil={:.3} ioq={:.0}",
             m.tps(), m.cpu_utilization, m.os_busy_fraction, m.context_switches_per_txn,

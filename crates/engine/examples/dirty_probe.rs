@@ -9,7 +9,7 @@ fn main() {
     let config = OltpConfig::new(WorkloadConfig::new(100, 48).unwrap(), SystemConfig::xeon_quad()).unwrap();
     let frames = (config.system.buffer_cache_bytes / 8192) as usize;
     let mut buffer = BufferCache::new(frames);
-    let mut sampler = TxnSampler::new(PageMap::new(100));
+    let mut sampler = TxnSampler::new(PageMap::new(100)).unwrap();
     let mut rng = SmallRng::seed_from_u64(0xDB_CAFE);
     let mut touched = 0usize;
     while touched < frames * 3 {

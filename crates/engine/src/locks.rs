@@ -10,6 +10,7 @@
 //! times extend through commit, so contention falls off as `1/W`.
 
 use crate::txn::LockTarget;
+use odb_core::Error;
 use odb_ossim::ProcessId;
 use std::collections::{HashMap, VecDeque};
 
@@ -127,10 +128,17 @@ impl LockManager {
     /// Releases `target` held by `pid`. If a waiter was queued, ownership
     /// transfers to it and its id is returned (the engine wakes it).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug builds) if `pid` does not hold `target`.
-    pub fn release(&mut self, pid: ProcessId, target: LockTarget) -> Option<ProcessId> {
+    /// Returns [`Error::CorruptState`] — in every build profile — if
+    /// `target` was never acquired or `pid` is not its holder. Both mean
+    /// the lock table and the caller's idea of it have diverged; the
+    /// simulation point cannot be trusted past this moment.
+    pub fn release(
+        &mut self,
+        pid: ProcessId,
+        target: LockTarget,
+    ) -> Result<Option<ProcessId>, Error> {
         #[cfg(feature = "invariants")]
         if let Some(prior) = self.acquired.get_mut(&pid) {
             prior.retain(|t| *t != target);
@@ -138,13 +146,22 @@ impl LockManager {
                 self.acquired.remove(&pid);
             }
         }
-        let state = self
-            .locks
-            .get_mut(&target)
-            // analyzer:allow(panic) — documented contract (corruption, not input)
-            .expect("releasing a lock that was never acquired");
-        debug_assert_eq!(state.holder, Some(pid), "release by non-holder");
-        match state.waiters.pop_front() {
+        let Some(state) = self.locks.get_mut(&target) else {
+            return Err(Error::corrupt(
+                "engine::locks",
+                format!("{pid:?} released {target:?}, which was never acquired"),
+            ));
+        };
+        if state.holder != Some(pid) {
+            return Err(Error::corrupt(
+                "engine::locks",
+                format!(
+                    "{pid:?} released {target:?}, which is held by {:?}",
+                    state.holder
+                ),
+            ));
+        }
+        Ok(match state.waiters.pop_front() {
             Some(next) => {
                 state.holder = Some(next);
                 Some(next)
@@ -153,19 +170,57 @@ impl LockManager {
                 state.holder = None;
                 None
             }
-        }
+        })
     }
 
     /// Releases several locks, returning every process that got woken.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::CorruptState`] from
+    /// [`LockManager::release`]; earlier targets in the slice stay
+    /// released.
     pub fn release_all(
         &mut self,
         pid: ProcessId,
         targets: &[LockTarget],
-    ) -> Vec<ProcessId> {
-        targets
+    ) -> Result<Vec<ProcessId>, Error> {
+        let mut woken = Vec::new();
+        for &t in targets {
+            if let Some(next) = self.release(pid, t)? {
+                woken.push(next);
+            }
+        }
+        Ok(woken)
+    }
+
+    /// Fault injection: forgets the holder of `target` (waiters keep
+    /// waiting), simulating a lost lock grant. Returns `true` if a holder
+    /// was dropped. The true holder's eventual release then surfaces as
+    /// [`Error::CorruptState`].
+    #[cfg(feature = "invariants")]
+    pub fn inject_drop_lock(&mut self, target: LockTarget) -> bool {
+        match self.locks.get_mut(&target) {
+            Some(state) if state.holder.is_some() => {
+                state.holder = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fault injection: drops the holder of *some* currently held lock
+    /// (the first in [`canonical_order`]), returning its target, or `None`
+    /// when nothing is held.
+    #[cfg(feature = "invariants")]
+    pub fn inject_drop_any_held(&mut self) -> Option<LockTarget> {
+        let target = self
+            .locks
             .iter()
-            .filter_map(|&t| self.release(pid, t))
-            .collect()
+            .filter(|(_, s)| s.holder.is_some())
+            .map(|(t, _)| *t)
+            .min_by_key(canonical_order)?;
+        self.inject_drop_lock(target).then_some(target)
     }
 
     /// The current holder of `target`, if locked.
@@ -195,7 +250,7 @@ mod tests {
         let mut m = LockManager::new();
         assert_eq!(m.acquire(pid(1), D0), AcquireResult::Granted);
         assert_eq!(m.holder(D0), Some(pid(1)));
-        assert_eq!(m.release(pid(1), D0), None);
+        assert_eq!(m.release(pid(1), D0).unwrap(), None);
         assert_eq!(m.holder(D0), None);
         assert_eq!(m.stats().conflicts, 0);
         assert_eq!(m.stats().acquisitions, 1);
@@ -209,22 +264,24 @@ mod tests {
         assert_eq!(m.acquire(pid(3), D0), AcquireResult::Queued);
         assert_eq!(m.queue_len(D0), 2);
         // Release hands over to pid 2 first.
-        assert_eq!(m.release(pid(1), D0), Some(pid(2)));
+        assert_eq!(m.release(pid(1), D0).unwrap(), Some(pid(2)));
         assert_eq!(m.holder(D0), Some(pid(2)));
-        assert_eq!(m.release(pid(2), D0), Some(pid(3)));
-        assert_eq!(m.release(pid(3), D0), None);
+        assert_eq!(m.release(pid(2), D0).unwrap(), Some(pid(3)));
+        assert_eq!(m.release(pid(3), D0).unwrap(), None);
         assert!((m.stats().conflict_ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn independent_targets_do_not_conflict() {
         let mut m = LockManager::new();
-        assert_eq!(m.acquire(pid(1), D0), AcquireResult::Granted);
+        // Acquisitions follow canonical order (warehouse before district)
+        // so the `invariants` lock-order witness accepts them.
+        assert_eq!(m.acquire(pid(1), W0), AcquireResult::Granted);
         assert_eq!(
             m.acquire(pid(2), LockTarget::DistrictBlock(1)),
             AcquireResult::Granted
         );
-        assert_eq!(m.acquire(pid(1), W0), AcquireResult::Granted);
+        assert_eq!(m.acquire(pid(1), D0), AcquireResult::Granted);
         assert_eq!(m.stats().conflicts, 0);
     }
 
@@ -235,7 +292,7 @@ mod tests {
         m.acquire(pid(1), D0);
         m.acquire(pid(2), W0);
         m.acquire(pid(3), D0);
-        let woken = m.release_all(pid(1), &[W0, D0]);
+        let woken = m.release_all(pid(1), &[W0, D0]).unwrap();
         assert_eq!(woken, vec![pid(2), pid(3)]);
         assert_eq!(m.holder(W0), Some(pid(2)));
         assert_eq!(m.holder(D0), Some(pid(3)));
@@ -252,10 +309,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "never acquired")]
-    fn releasing_unknown_lock_panics() {
+    fn releasing_unknown_lock_is_corrupt_state() {
         let mut m = LockManager::new();
-        m.release(pid(1), D0);
+        assert!(matches!(
+            m.release(pid(1), D0),
+            Err(Error::CorruptState { component: "engine::locks", .. })
+        ));
+    }
+
+    #[test]
+    fn releasing_by_non_holder_is_corrupt_state() {
+        let mut m = LockManager::new();
+        m.acquire(pid(1), D0);
+        // Release by a process that never held the lock must not transfer
+        // or clear ownership.
+        assert!(matches!(
+            m.release(pid(2), D0),
+            Err(Error::CorruptState { component: "engine::locks", .. })
+        ));
+        assert_eq!(m.holder(D0), Some(pid(1)));
     }
 
     #[test]

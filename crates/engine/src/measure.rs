@@ -199,7 +199,7 @@ impl OdbSimulator {
         let w = self.config.workload.warehouses;
         let mut estimates = WorkloadEstimates::initial();
         let template_sampler =
-            TxnSampler::with_mix(PageMap::new(w), self.options.system.txn_mix);
+            TxnSampler::with_mix(PageMap::new(w), self.options.system.txn_mix)?;
         let mut last: Option<(Measurement, Characterization)> = None;
 
         for round in 0..o.iterations {
@@ -211,22 +211,26 @@ impl OdbSimulator {
                 o.seed ^ (round as u64).wrapping_mul(0x9E37_79B9),
                 o.char_warmup_instructions,
                 o.char_measure_instructions,
-            );
+            )?;
             let mut sim = SystemSim::new(
                 self.config.clone(),
                 o.system,
                 characterization.rates,
                 o.seed.wrapping_add(round as u64),
             )?;
-            sim.run_for(o.warmup);
+            sim.run_for(o.warmup)?;
             sim.reset_stats();
-            sim.run_for(o.measure);
+            sim.run_for(o.measure)?;
             let measurement = sim.collect();
             estimates = WorkloadEstimates::from_measurement(&measurement);
             last = Some((measurement, characterization));
         }
-        // analyzer:allow(panic) — new() rejects iterations == 0 up front.
-        let (true_measurement, characterization) = last.expect("iterations >= 1");
+        let Some((true_measurement, characterization)) = last else {
+            return Err(odb_core::Error::corrupt(
+                "engine::measure",
+                "fixed-point loop produced no rounds despite iterations >= 1",
+            ));
+        };
 
         // Iron-law identity: the measured TPS and the TPS predicted from
         // utilization, P, F, IPX and CPI are the same quantity computed
@@ -240,10 +244,17 @@ impl OdbSimulator {
             let predicted = true_measurement.iron_law_tps(self.config.system.frequency_hz);
             if tps > 0.0 && predicted > 0.0 {
                 let rel = (tps - predicted).abs() / predicted;
+                // The counts the prediction derives from are u64-quantized
+                // (SpaceCounts cycles/instructions truncate f64 products),
+                // so the two TPS computations agree only to ~1e-4 even
+                // when the accounting is perfectly consistent. 1e-3 stays
+                // two orders tighter than the 10% the cross-crate
+                // iron_law_consistency test allows while leaving room for
+                // that quantization.
                 debug_assert!(
-                    rel <= 1e-6,
+                    rel <= 1e-3,
                     "iron-law identity violated: measured {tps} TPS vs predicted \
-                     {predicted} TPS (relative error {rel:.3e} > 1e-6)"
+                     {predicted} TPS (relative error {rel:.3e} > 1e-3)"
                 );
             }
         }

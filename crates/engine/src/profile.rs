@@ -133,8 +133,16 @@ pub struct OdbRefSource {
 impl OdbRefSource {
     /// A source over `warehouses`, emitting `lines_per_touch` distinct
     /// lines per page touch.
-    pub fn new(warehouses: u32, lines_per_touch: u32) -> Self {
-        Self::with_sampler(TxnSampler::new(PageMap::new(warehouses)), lines_per_touch)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] if the sampler's
+    /// row-selection distributions cannot be built.
+    pub fn new(warehouses: u32, lines_per_touch: u32) -> Result<Self, odb_core::Error> {
+        Ok(Self::with_sampler(
+            TxnSampler::new(PageMap::new(warehouses))?,
+            lines_per_touch,
+        ))
     }
 
     /// A source sharing an existing sampler's Zipf tables — cheap to call
@@ -277,7 +285,7 @@ mod tests {
 
     #[test]
     fn ref_source_emits_lines_within_touched_pages() {
-        let mut src = OdbRefSource::new(25, 4);
+        let mut src = OdbRefSource::new(25, 4).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let map = PageMap::new(25);
         let mut pages = std::collections::HashSet::new();
@@ -300,7 +308,7 @@ mod tests {
 
     #[test]
     fn ref_source_groups_lines_per_touch() {
-        let mut src = OdbRefSource::new(5, 4);
+        let mut src = OdbRefSource::new(5, 4).unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         // Consecutive refs come in groups of 4 on the same page.
         let mut last_page = u64::MAX;

@@ -175,8 +175,10 @@ impl PageMap {
         ITEM_TABLE_PAGES + warehouse as u64 * PAGES_PER_WAREHOUSE
     }
 
-    fn extent_of(table: Table) -> Extent {
-        match table {
+    /// The per-warehouse extent of `table`; `None` for [`Table::Item`],
+    /// whose pages live in the shared item table, not a warehouse extent.
+    fn extent_of(table: Table) -> Option<Extent> {
+        Some(match table {
             Table::Customer => CUSTOMER_EXTENT,
             Table::Stock => STOCK_EXTENT,
             Table::Orders => ORDERS_EXTENT,
@@ -185,8 +187,8 @@ impl PageMap {
             Table::NewOrder => NEW_ORDER_EXTENT,
             Table::District => DISTRICT_EXTENT,
             Table::Warehouse => WAREHOUSE_EXTENT,
-            Table::Item => unreachable!("item pages come from item_page()"),
-        }
+            Table::Item => return None,
+        })
     }
 
     /// Rows per page for row-addressed tables.
@@ -206,29 +208,27 @@ impl PageMap {
     /// the extent is used as a ring — the hot tail stays hot while old
     /// pages age out, exactly like a history-window table.
     ///
+    /// [`Table::Item`] rows live in the shared item table, so `warehouse`
+    /// is ignored for them and the call is equivalent to
+    /// [`PageMap::item_page`].
+    ///
     /// # Panics
     ///
-    /// Panics (debug builds) when `warehouse` is out of range. Calling
-    /// this with [`Table::Item`] is a bug; use [`PageMap::item_page`].
+    /// Panics (debug builds) when `warehouse` is out of range.
     pub fn row_page(&self, table: Table, warehouse: u32, row: u64) -> PageId {
-        let extent = Self::extent_of(table);
+        let Some(extent) = Self::extent_of(table) else {
+            return self.item_page(row);
+        };
         let page_in_extent = match table {
             Table::Customer | Table::Stock => {
                 (row / Self::rows_per_page(table)).min(extent.pages - 1)
             }
-            Table::Orders | Table::OrderLine | Table::History | Table::NewOrder => {
-                // Insert rings: sequence numbers wrap around the extent.
-                let rows_per_page = match table {
-                    Table::Orders => 40,
-                    Table::OrderLine => 80,
-                    Table::History => 120,
-                    Table::NewOrder => 250,
-                    _ => unreachable!(),
-                };
-                (row / rows_per_page) % extent.pages
-            }
-            Table::District | Table::Warehouse => 0,
-            Table::Item => unreachable!("item pages come from item_page()"),
+            // Insert rings: sequence numbers wrap around the extent.
+            Table::Orders => (row / 40) % extent.pages,
+            Table::OrderLine => (row / 80) % extent.pages,
+            Table::History => (row / 120) % extent.pages,
+            Table::NewOrder => (row / 250) % extent.pages,
+            Table::District | Table::Warehouse | Table::Item => 0,
         };
         self.warehouse_base(warehouse) + extent.offset + page_in_extent
     }

@@ -234,9 +234,9 @@ impl SystemSim {
             buffer: BufferCache::new(frames),
             locks: LockManager::new(),
             log_writer: LogWriter::new(),
-            db_writer: DbWriter::new(params.db_writer_slots),
+            db_writer: DbWriter::new(params.db_writer_slots)?,
             disks,
-            sampler: TxnSampler::with_mix(map, params.txn_mix),
+            sampler: TxnSampler::with_mix(map, params.txn_mix)?,
             procs: (0..clients)
                 .map(|_| Proc {
                     txn: None,
@@ -259,7 +259,7 @@ impl SystemSim {
             sim.runq.make_ready(ProcessId(pid as u32));
         }
         for cpu in 0..processors {
-            sim.try_dispatch(cpu);
+            sim.try_dispatch(cpu)?;
         }
         let tick = sim.params.bus_window;
         sim.queue.schedule(tick, Event::BusTick);
@@ -311,17 +311,31 @@ impl SystemSim {
     }
 
     /// Runs the event loop until `duration` has elapsed from now.
-    pub fn run_for(&mut self, duration: SimTime) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::CorruptState`] if an event exposes
+    /// internal state that violates a simulator invariant (a completion
+    /// with nothing in flight, a release by a non-holder, …). The
+    /// simulation point is unusable after an error; callers should drop
+    /// it and continue with other points.
+    pub fn run_for(&mut self, duration: SimTime) -> Result<(), odb_core::Error> {
         let end = self.now + duration;
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
+            let Some((t, ev)) = self.queue.pop() else {
+                return Err(odb_core::Error::corrupt(
+                    "engine::system",
+                    "event queue peeked a time but popped empty",
+                ));
+            };
             self.now = t;
-            self.handle(ev);
+            self.handle(ev)?;
         }
         self.now = end;
+        Ok(())
     }
 
     /// Begins a measurement window: zeroes every statistic while keeping
@@ -441,22 +455,22 @@ impl SystemSim {
 
     // ---- event handling ----
 
-    fn handle(&mut self, ev: Event) {
+    fn handle(&mut self, ev: Event) -> Result<(), odb_core::Error> {
         match ev {
-            Event::BurstDone { cpu, end } => self.burst_done(cpu, end),
+            Event::BurstDone { cpu, end } => self.burst_done(cpu, end)?,
             Event::IoDone { pid } => {
                 self.procs[pid.0 as usize].pending_os_instructions +=
                     self.os_costs.io_complete_instructions;
-                self.wake(pid);
+                self.wake(pid)?;
             }
             Event::PageWriteDone => {
-                if let Some(page) = self.db_writer.write_complete() {
+                if let Some(page) = self.db_writer.write_complete()? {
                     self.submit_page_write(page);
                 }
             }
             Event::LogFlushStart => {
                 if !self.log_writer.is_flushing() && self.log_writer.batch_len() > 0 {
-                    let bytes = self.log_writer.begin_flush();
+                    let bytes = self.log_writer.begin_flush()?;
                     self.bus_transactions_window += bytes as f64 / 64.0;
                     let done =
                         self.disks
@@ -465,9 +479,9 @@ impl SystemSim {
                 }
             }
             Event::LogFlushDone => {
-                let (woken, more) = self.log_writer.flush_complete();
+                let (woken, more) = self.log_writer.flush_complete()?;
                 for pid in woken {
-                    self.complete_transaction(pid);
+                    self.complete_transaction(pid)?;
                     self.procs[pid.0 as usize].pending_os_instructions +=
                         self.os_costs.ipc_instructions;
                     let think = self.sample_think_time();
@@ -496,7 +510,7 @@ impl SystemSim {
                 self.queue
                     .schedule(self.now + self.params.bus_window, Event::BusTick);
             }
-            Event::ThinkDone { pid } => self.wake(pid),
+            Event::ThinkDone { pid } => self.wake(pid)?,
             Event::CheckpointTick => {
                 // Age-based cold-dirty writeback: a page installed by a
                 // write miss and untouched for `writeback_delay` is
@@ -552,53 +566,67 @@ impl SystemSim {
                 );
             }
         }
+        Ok(())
     }
 
     /// A process became runnable; dispatch it if a CPU is idle.
-    fn wake(&mut self, pid: ProcessId) {
+    fn wake(&mut self, pid: ProcessId) -> Result<(), odb_core::Error> {
         self.runq.make_ready(pid);
         for cpu in 0..self.runq.processors() {
             if self.runq.running_on(cpu).is_none() {
-                self.try_dispatch(cpu);
+                self.try_dispatch(cpu)?;
                 break;
             }
         }
+        Ok(())
     }
 
     /// Dispatches the next ready process onto `cpu` and plans its burst.
-    fn try_dispatch(&mut self, cpu: usize) {
+    fn try_dispatch(&mut self, cpu: usize) -> Result<(), odb_core::Error> {
         if self.runq.running_on(cpu).is_some() {
-            return;
+            return Ok(());
         }
         if let Some(pid) = self.runq.dispatch(cpu) {
-            self.plan_burst(cpu, pid);
+            self.plan_burst(cpu, pid)?;
         }
+        Ok(())
     }
 
-    fn burst_done(&mut self, cpu: usize, end: BurstEnd) {
+    fn burst_done(&mut self, cpu: usize, end: BurstEnd) -> Result<(), odb_core::Error> {
         match end {
             BurstEnd::IoWait | BurstEnd::LockWait | BurstEnd::CommitWait => {
-                self.runq.stop(cpu, StopReason::Blocked);
-                self.try_dispatch(cpu);
+                if self.runq.stop(cpu, StopReason::Blocked).is_none() {
+                    return Err(odb_core::Error::corrupt(
+                        "engine::system",
+                        format!("burst completion on idle cpu {cpu}"),
+                    ));
+                }
+                self.try_dispatch(cpu)?;
             }
             BurstEnd::Quantum => {
-                let pid = self.runq.running_on(cpu).expect("quantum on busy cpu");
+                let Some(pid) = self.runq.running_on(cpu) else {
+                    return Err(odb_core::Error::corrupt(
+                        "engine::system",
+                        format!("quantum expiry on idle cpu {cpu}"),
+                    ));
+                };
                 if self.runq.ready_len() > 0 {
                     self.runq.stop(cpu, StopReason::Preempted);
-                    self.try_dispatch(cpu);
+                    self.try_dispatch(cpu)?;
                 } else {
                     // Alone on the CPU: keep running without a switch.
-                    self.plan_burst(cpu, pid);
+                    self.plan_burst(cpu, pid)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Plans the next execution burst for `pid` on `cpu`: advances the
     /// transaction state machine until it blocks, commits, or exhausts
     /// its timeslice, charging time as it goes, then schedules the
     /// matching [`Event::BurstDone`].
-    fn plan_burst(&mut self, cpu: usize, pid: ProcessId) {
+    fn plan_burst(&mut self, cpu: usize, pid: ProcessId) -> Result<(), odb_core::Error> {
         let quantum_ns = self.params.quantum.as_nanos() as f64;
         let mut elapsed_ns = 0.0f64;
 
@@ -639,7 +667,7 @@ impl SystemSim {
 
             // Lock acquisition point reached?
             let (need_lock, lock_target) = {
-                let st = self.procs[pid.0 as usize].txn.as_ref().expect("txn set");
+                let st = Self::txn_state(&self.procs, pid)?;
                 if st.next_touch >= st.txn.lock_acquire_index
                     && st.locks_acquired < st.txn.locks.len()
                 {
@@ -651,14 +679,12 @@ impl SystemSim {
             if need_lock {
                 match self.locks.acquire(pid, lock_target) {
                     AcquireResult::Granted => {
-                        let st = self.procs[pid.0 as usize].txn.as_mut().expect("txn set");
-                        st.locks_acquired += 1;
+                        Self::txn_state_mut(&mut self.procs, pid)?.locks_acquired += 1;
                         elapsed_ns += self.charge_os(cpu, self.os_costs.ipc_instructions / 2);
                         continue;
                     }
                     AcquireResult::Queued => {
-                        let st = self.procs[pid.0 as usize].txn.as_mut().expect("txn set");
-                        st.lock_handover_pending = true;
+                        Self::txn_state_mut(&mut self.procs, pid)?.lock_handover_pending = true;
                         break BurstEnd::LockWait;
                     }
                 }
@@ -666,7 +692,7 @@ impl SystemSim {
 
             // Execute the next page touch, or commit.
             let (touch, instr) = {
-                let st = self.procs[pid.0 as usize].txn.as_ref().expect("txn set");
+                let st = Self::txn_state(&self.procs, pid)?;
                 if st.next_touch < st.txn.touches.len() {
                     (Some(st.txn.touches[st.next_touch]), st.instr_per_touch)
                 } else {
@@ -676,10 +702,7 @@ impl SystemSim {
             match touch {
                 Some(t) => {
                     elapsed_ns += self.charge_user(cpu, instr);
-                    {
-                        let st = self.procs[pid.0 as usize].txn.as_mut().expect("txn set");
-                        st.next_touch += 1;
-                    }
+                    Self::txn_state_mut(&mut self.procs, pid)?.next_touch += 1;
                     let write = t.kind == TouchKind::Write;
                     match self.buffer.access(t.page, write) {
                         BufferAccess::Hit => {}
@@ -691,10 +714,16 @@ impl SystemSim {
                             }
                             if write {
                                 // Cold-dirty writeback candidate.
-                                let stamp = self
-                                    .buffer
-                                    .dirty_stamp(t.page)
-                                    .expect("just installed");
+                                let Some(stamp) = self.buffer.dirty_stamp(t.page) else {
+                                    return Err(odb_core::Error::corrupt(
+                                        "engine::system",
+                                        format!(
+                                            "page {} vanished from the buffer pool \
+                                             immediately after install",
+                                            t.page
+                                        ),
+                                    ));
+                                };
                                 self.pending_writebacks.push_back((
                                     t.page,
                                     stamp,
@@ -727,13 +756,13 @@ impl SystemSim {
                     // Commit: trailing user work, then the log decision.
                     elapsed_ns += self.charge_user(cpu, instr);
                     let (log_bytes, read_only) = {
-                        let st = self.procs[pid.0 as usize].txn.as_ref().expect("txn set");
+                        let st = Self::txn_state(&self.procs, pid)?;
                         (st.txn.log_bytes, st.txn.locks.is_empty() && st.txn.dirty_pages() == 0)
                     };
                     if read_only {
                         // No redo to force: acknowledge the client and
                         // wait for its next request.
-                        self.complete_transaction(pid);
+                        self.complete_transaction(pid)?;
                         let think = self.sample_think_time();
                         self.queue.schedule(
                             self.now + SimTime::from_nanos_f64(elapsed_ns) + think,
@@ -759,22 +788,49 @@ impl SystemSim {
             self.now + SimTime::from_nanos_f64(elapsed_ns),
             Event::BurstDone { cpu, end },
         );
+        Ok(())
+    }
+
+    /// Looks up the in-flight transaction state for `pid`, reporting a
+    /// [`corrupt state`](odb_core::Error::CorruptState) if the process
+    /// was scheduled without one.
+    fn txn_state(procs: &[Proc], pid: ProcessId) -> Result<&TxnState, odb_core::Error> {
+        procs[pid.0 as usize].txn.as_ref().ok_or_else(|| {
+            odb_core::Error::corrupt(
+                "engine::system",
+                format!("{pid:?} scheduled with no transaction in flight"),
+            )
+        })
+    }
+
+    /// Mutable companion to [`Self::txn_state`].
+    fn txn_state_mut(
+        procs: &mut [Proc],
+        pid: ProcessId,
+    ) -> Result<&mut TxnState, odb_core::Error> {
+        procs[pid.0 as usize].txn.as_mut().ok_or_else(|| {
+            odb_core::Error::corrupt(
+                "engine::system",
+                format!("{pid:?} scheduled with no transaction in flight"),
+            )
+        })
     }
 
     /// Finishes a committed (or read-only) transaction: releases locks,
     /// wakes lock waiters and counts the commit.
-    fn complete_transaction(&mut self, pid: ProcessId) {
+    fn complete_transaction(&mut self, pid: ProcessId) -> Result<(), odb_core::Error> {
         let Some(st) = self.procs[pid.0 as usize].txn.take() else {
-            return;
+            return Ok(());
         };
         let held = &st.txn.locks[..st.locks_acquired];
-        let woken = self.locks.release_all(pid, held);
+        let woken = self.locks.release_all(pid, held)?;
         for waiter in woken {
             self.procs[waiter.0 as usize].pending_os_instructions +=
                 self.os_costs.ipc_instructions;
-            self.wake(waiter);
+            self.wake(waiter)?;
         }
         self.committed += 1;
+        Ok(())
     }
 
     /// Draws an exponential think time with the configured mean.
@@ -829,10 +885,72 @@ impl SystemSim {
         self.locks.stats()
     }
 
+    /// Checks the simulator's internal invariants without advancing time.
+    ///
+    /// This is the detection channel for corruptions that do not abort
+    /// the event loop on their own — e.g. a NaN-poisoned sampling CDF,
+    /// which sampling tolerates (clamping into the domain) but which
+    /// silently skews the reference stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptState`](odb_core::Error::CorruptState) naming the
+    /// corrupted component.
+    pub fn verify_invariants(&self) -> Result<(), odb_core::Error> {
+        self.sampler.check_invariants()
+    }
+
+    /// Handle to the buffer manager's dirty-page count (diagnostics).
+    pub fn committed_count(&self) -> u64 {
+        self.committed
+    }
+
     /// Deterministic RNG usage means identical seeds replay identically;
     /// exposed for tests.
     pub fn rates(&self) -> EventRates {
         self.rates
+    }
+}
+
+/// A deliberate state corruption for the fault-injection harness.
+///
+/// Each variant names one invariant the simulator relies on; injecting
+/// the fault breaks that invariant so tests can prove the violation
+/// surfaces as a typed [`odb_core::Error`] instead of a process abort.
+#[cfg(feature = "invariants")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Silently drop a held lock from the lock table, so the eventual
+    /// release finds no trace of the acquisition.
+    DropHeldLock,
+    /// Discard an in-flight log flush, so its completion event finds no
+    /// flush in flight.
+    TruncateCommitBatch,
+    /// Poison the transaction sampler's customer CDF with a NaN weight.
+    PoisonCdf,
+    /// Clear a busy CPU's running slot, desynchronising the run queue
+    /// from the event calendar.
+    DesyncRunQueue,
+}
+
+#[cfg(feature = "invariants")]
+impl SystemSim {
+    /// Injects `fault` into the live simulator state.
+    ///
+    /// Returns `true` if the corruption was applied; `false` if the
+    /// current state has nothing to corrupt (no lock held, no flush in
+    /// flight, no CPU busy) — callers should advance the simulation and
+    /// retry. Only available with the `invariants` feature.
+    pub fn inject_fault(&mut self, fault: Fault) -> bool {
+        match fault {
+            Fault::DropHeldLock => self.locks.inject_drop_any_held().is_some(),
+            Fault::TruncateCommitBatch => self.log_writer.inject_truncate_batch(),
+            Fault::PoisonCdf => self.sampler.inject_poison_cdf(),
+            Fault::DesyncRunQueue => {
+                (0..self.runq.processors())
+                    .any(|cpu| self.runq.inject_clear_running(cpu).is_some())
+            }
+        }
     }
 }
 
@@ -871,9 +989,9 @@ mod tests {
     }
 
     fn run_measured(s: &mut SystemSim, warm_s: u64, measure_s: u64) -> Measurement {
-        s.run_for(SimTime::from_secs(warm_s));
+        s.run_for(SimTime::from_secs(warm_s)).unwrap();
         s.reset_stats();
-        s.run_for(SimTime::from_secs(measure_s));
+        s.run_for(SimTime::from_secs(measure_s)).unwrap();
         s.collect()
     }
 

@@ -39,6 +39,17 @@ impl TxnType {
         TxnType::StockLevel,
     ];
 
+    /// This type's position in [`TxnType::ALL`] (mix order).
+    pub fn index(self) -> usize {
+        match self {
+            TxnType::NewOrder => 0,
+            TxnType::Payment => 1,
+            TxnType::OrderStatus => 2,
+            TxnType::Delivery => 3,
+            TxnType::StockLevel => 4,
+        }
+    }
+
     /// The share of this type in the transaction mix (sums to 1).
     pub fn mix(&self) -> f64 {
         match self {
@@ -138,8 +149,7 @@ impl TxnMix {
 
     /// The weight of one type.
     pub fn weight(&self, ty: TxnType) -> f64 {
-        let idx = TxnType::ALL.iter().position(|t| *t == ty).expect("in ALL");
-        self.weights[idx]
+        self.weights[ty.index()]
     }
 
     /// Draws a type.
@@ -152,7 +162,9 @@ impl TxnMix {
                 return *ty;
             }
         }
-        *TxnType::ALL.last().expect("nonempty")
+        // Rounding can leave `u` past the accumulated sum; the last type
+        // in mix order absorbs the remainder.
+        TxnType::StockLevel
     }
 
     /// Mean user instructions per transaction under this mix.
@@ -276,21 +288,53 @@ pub struct TxnSampler {
 
 impl TxnSampler {
     /// A sampler over the given page map with the paper's standard mix.
-    pub fn new(map: PageMap) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] if a row-selection
+    /// distribution cannot be built (impossible for the fixed schema
+    /// constants, but propagated rather than asserted).
+    pub fn new(map: PageMap) -> Result<Self, odb_core::Error> {
         Self::with_mix(map, TxnMix::paper())
     }
 
     /// A sampler with a custom transaction mix.
-    pub fn with_mix(map: PageMap, mix: TxnMix) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] as for
+    /// [`TxnSampler::new`].
+    pub fn with_mix(map: PageMap, mix: TxnMix) -> Result<Self, odb_core::Error> {
+        Ok(Self {
             map,
             mix,
-            customer: std::sync::Arc::new(Zipf::new(CUSTOMERS_PER_DISTRICT * 10, 1.0)),
-            item: std::sync::Arc::new(Zipf::new(ITEMS, 1.09)),
-            index: std::sync::Arc::new(Zipf::new(INDEX_INTERIOR_SLOTS, 1.1)),
+            customer: std::sync::Arc::new(Zipf::new(CUSTOMERS_PER_DISTRICT * 10, 1.0)?),
+            item: std::sync::Arc::new(Zipf::new(ITEMS, 1.09)?),
+            index: std::sync::Arc::new(Zipf::new(INDEX_INTERIOR_SLOTS, 1.1)?),
             sequences: vec![WarehouseSequences::default(); map.warehouses() as usize],
             remote_payment_frac: if map.warehouses() > 1 { 0.15 } else { 0.0 },
-        }
+        })
+    }
+
+    /// Checks the sampler's Zipf CDF tables for corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::CorruptState`] if any table was
+    /// poisoned (see [`TxnSampler::inject_poison_cdf`]).
+    pub fn check_invariants(&self) -> Result<(), odb_core::Error> {
+        self.customer.check_cdf()?;
+        self.item.check_cdf()?;
+        self.index.check_cdf()?;
+        Ok(())
+    }
+
+    /// Fault injection: poisons the customer-selection CDF with NaN.
+    /// Returns `true` if a table was poisoned. Sampling stays abort-free;
+    /// [`TxnSampler::check_invariants`] reports the corruption.
+    #[cfg(feature = "invariants")]
+    pub fn inject_poison_cdf(&mut self) -> bool {
+        std::sync::Arc::make_mut(&mut self.customer).inject_poison_cdf()
     }
 
     /// The underlying page map.
@@ -542,7 +586,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn sampler(w: u32) -> TxnSampler {
-        TxnSampler::new(PageMap::new(w))
+        TxnSampler::new(PageMap::new(w)).unwrap()
     }
 
     fn rng() -> SmallRng {
@@ -573,7 +617,7 @@ mod tests {
     #[test]
     fn custom_mix_drives_sampling() {
         let mix = TxnMix::new([0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
-        let mut s = TxnSampler::with_mix(PageMap::new(5), mix);
+        let mut s = TxnSampler::with_mix(PageMap::new(5), mix).unwrap();
         assert_eq!(s.mix(), mix);
         let mut r = rng();
         for _ in 0..50 {
@@ -724,7 +768,7 @@ mod tests {
                 warehouses in 1u32..600,
                 seed in 0u64..1_000,
             ) {
-                let mut s = TxnSampler::new(PageMap::new(warehouses));
+                let mut s = TxnSampler::new(PageMap::new(warehouses)).unwrap();
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let total = s.map().total_pages();
                 for _ in 0..10 {
@@ -755,7 +799,7 @@ mod tests {
             /// dirty_pages() is consistent with the touch list.
             #[test]
             fn dirty_page_count_matches_touches(seed in 0u64..500) {
-                let mut s = TxnSampler::new(PageMap::new(20));
+                let mut s = TxnSampler::new(PageMap::new(20)).unwrap();
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let t = s.sample(&mut rng);
                 let writes: std::collections::HashSet<u64> = t

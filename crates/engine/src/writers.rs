@@ -18,6 +18,7 @@
 //!   asynchronous and "typically non-critical", as §4.3 notes.
 
 use crate::schema::PageId;
+use odb_core::Error;
 use odb_ossim::ProcessId;
 use std::collections::VecDeque;
 
@@ -69,28 +70,65 @@ impl LogWriter {
     /// Begins flushing the collected batch; returns the bytes to write.
     /// The engine submits a `LogWrite` I/O of this size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a flush is already in flight or the batch is empty.
-    pub fn begin_flush(&mut self) -> u64 {
-        assert!(!self.flushing, "one flush at a time");
-        assert!(!self.batch.is_empty(), "flush without committers");
+    /// Returns [`Error::CorruptState`] if a flush is already in flight or
+    /// the batch is empty — either means the engine's commit scheduling
+    /// has diverged from the group-commit protocol.
+    pub fn begin_flush(&mut self) -> Result<u64, Error> {
+        if self.flushing {
+            return Err(Error::corrupt(
+                "engine::writers",
+                "begin_flush while a flush is already in flight",
+            ));
+        }
+        if self.batch.is_empty() {
+            return Err(Error::corrupt(
+                "engine::writers",
+                "begin_flush with no parked committers",
+            ));
+        }
         self.flushing = true;
         self.in_flight = std::mem::take(&mut self.batch);
         let bytes = std::mem::take(&mut self.batch_bytes);
         self.flushes += 1;
         self.bytes_flushed += bytes;
-        bytes
+        Ok(bytes)
     }
 
     /// Completes the in-flight flush: returns the committers to wake and
     /// whether another flush should start immediately (a batch formed
     /// while the disk was busy).
-    pub fn flush_complete(&mut self) -> (Vec<ProcessId>, bool) {
-        assert!(self.flushing, "no flush in flight");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptState`] if no flush is in flight (a flush
+    /// completion event with nothing on disk).
+    pub fn flush_complete(&mut self) -> Result<(Vec<ProcessId>, bool), Error> {
+        if !self.flushing {
+            return Err(Error::corrupt(
+                "engine::writers",
+                "flush completion with no flush in flight",
+            ));
+        }
         self.flushing = false;
         let woken = std::mem::take(&mut self.in_flight);
-        (woken, !self.batch.is_empty())
+        Ok((woken, !self.batch.is_empty()))
+    }
+
+    /// Fault injection: truncates the in-flight commit batch — the flush
+    /// is forgotten and its riders are dropped on the floor, as if the
+    /// log device lost the write. Returns `true` if a flush was in
+    /// flight. The pending flush-completion event then surfaces as
+    /// [`Error::CorruptState`].
+    #[cfg(feature = "invariants")]
+    pub fn inject_truncate_batch(&mut self) -> bool {
+        if !self.flushing {
+            return false;
+        }
+        self.flushing = false;
+        self.in_flight.clear();
+        true
     }
 
     /// `true` while a flush I/O is on disk.
@@ -134,18 +172,23 @@ pub struct DbWriter {
 impl DbWriter {
     /// A writer allowing `max_in_flight` concurrent page writes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_in_flight` is zero.
-    pub fn new(max_in_flight: usize) -> Self {
-        assert!(max_in_flight > 0, "need at least one write slot");
-        Self {
+    /// Returns [`Error::InvalidConfig`] if `max_in_flight` is zero.
+    pub fn new(max_in_flight: usize) -> Result<Self, Error> {
+        if max_in_flight == 0 {
+            return Err(Error::InvalidConfig {
+                field: "db_writer_slots",
+                reason: "need at least one write slot".to_owned(),
+            });
+        }
+        Ok(Self {
             queue: VecDeque::new(),
             in_flight: 0,
             max_in_flight,
             pages_written: 0,
             max_queue: 0,
-        }
+        })
     }
 
     /// Queues a dirty page; returns the page to submit now if a write
@@ -157,11 +200,21 @@ impl DbWriter {
     }
 
     /// Marks one write complete; returns the next page to submit, if any.
-    pub fn write_complete(&mut self) -> Option<PageId> {
-        debug_assert!(self.in_flight > 0);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptState`] if no write is in flight — a
+    /// completion event with nothing on disk.
+    pub fn write_complete(&mut self) -> Result<Option<PageId>, Error> {
+        if self.in_flight == 0 {
+            return Err(Error::corrupt(
+                "engine::writers",
+                "page-write completion with no write in flight",
+            ));
+        }
         self.in_flight -= 1;
         self.pages_written += 1;
-        self.try_issue()
+        Ok(self.try_issue())
     }
 
     fn try_issue(&mut self) -> Option<PageId> {
@@ -208,9 +261,9 @@ mod tests {
     fn single_commit_flushes_immediately() {
         let mut lw = LogWriter::new();
         assert_eq!(lw.commit_request(pid(1), 6_000), CommitAction::StartFlush);
-        assert_eq!(lw.begin_flush(), 6_000);
+        assert_eq!(lw.begin_flush().unwrap(), 6_000);
         assert!(lw.is_flushing());
-        let (woken, more) = lw.flush_complete();
+        let (woken, more) = lw.flush_complete().unwrap();
         assert_eq!(woken, vec![pid(1)]);
         assert!(!more);
         assert_eq!(lw.flushes(), 1);
@@ -221,72 +274,92 @@ mod tests {
     fn group_commit_batches_while_disk_busy() {
         let mut lw = LogWriter::new();
         assert_eq!(lw.commit_request(pid(1), 8_000), CommitAction::StartFlush);
-        lw.begin_flush();
+        lw.begin_flush().unwrap();
         // Two more commits arrive while the flush is on disk.
         assert_eq!(lw.commit_request(pid(2), 3_000), CommitAction::Wait);
         assert_eq!(lw.commit_request(pid(3), 8_000), CommitAction::Wait);
         assert_eq!(lw.batch_len(), 2);
-        let (woken, more) = lw.flush_complete();
+        let (woken, more) = lw.flush_complete().unwrap();
         assert_eq!(woken, vec![pid(1)]);
         assert!(more, "a second flush must start for the batch");
-        let bytes = lw.begin_flush();
+        let bytes = lw.begin_flush().unwrap();
         assert_eq!(bytes, 11_000, "the batch is one grouped write");
-        let (woken2, more2) = lw.flush_complete();
+        let (woken2, more2) = lw.flush_complete().unwrap();
         assert_eq!(woken2, vec![pid(2), pid(3)]);
         assert!(!more2);
         assert_eq!(lw.flushes(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "one flush at a time")]
-    fn double_flush_panics() {
+    fn double_flush_is_corrupt_state() {
         let mut lw = LogWriter::new();
         lw.commit_request(pid(1), 100);
-        lw.begin_flush();
+        lw.begin_flush().unwrap();
         lw.commit_request(pid(2), 100);
-        lw.begin_flush();
+        assert!(matches!(
+            lw.begin_flush(),
+            Err(Error::CorruptState { component: "engine::writers", .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "flush without committers")]
-    fn empty_flush_panics() {
+    fn empty_flush_is_corrupt_state() {
         let mut lw = LogWriter::new();
-        lw.begin_flush();
+        assert!(matches!(
+            lw.begin_flush(),
+            Err(Error::CorruptState { component: "engine::writers", .. })
+        ));
+    }
+
+    #[test]
+    fn spurious_completions_are_corrupt_state() {
+        let mut lw = LogWriter::new();
+        assert!(matches!(
+            lw.flush_complete(),
+            Err(Error::CorruptState { component: "engine::writers", .. })
+        ));
+        let mut dw = DbWriter::new(1).unwrap();
+        assert!(matches!(
+            dw.write_complete(),
+            Err(Error::CorruptState { component: "engine::writers", .. })
+        ));
     }
 
     #[test]
     fn dbwriter_bounds_in_flight() {
-        let mut dw = DbWriter::new(2);
+        let mut dw = DbWriter::new(2).unwrap();
         assert_eq!(dw.enqueue(10), Some(10));
         assert_eq!(dw.enqueue(11), Some(11));
         assert_eq!(dw.enqueue(12), None, "third write waits");
         assert_eq!(dw.in_flight(), 2);
         assert_eq!(dw.backlog(), 1);
-        assert_eq!(dw.write_complete(), Some(12));
-        assert_eq!(dw.write_complete(), None);
-        assert_eq!(dw.write_complete(), None);
+        assert_eq!(dw.write_complete().unwrap(), Some(12));
+        assert_eq!(dw.write_complete().unwrap(), None);
+        assert_eq!(dw.write_complete().unwrap(), None);
         assert_eq!(dw.pages_written(), 3);
         assert_eq!(dw.in_flight(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one write slot")]
-    fn zero_slots_panics() {
-        let _ = DbWriter::new(0);
+    fn zero_slots_is_rejected() {
+        assert!(matches!(
+            DbWriter::new(0),
+            Err(Error::InvalidConfig { field: "db_writer_slots", .. })
+        ));
     }
 
     #[test]
     fn reset_stats() {
         let mut lw = LogWriter::new();
         lw.commit_request(pid(1), 500);
-        lw.begin_flush();
-        lw.flush_complete();
+        lw.begin_flush().unwrap();
+        lw.flush_complete().unwrap();
         lw.reset_stats();
         assert_eq!(lw.flushes(), 0);
         assert_eq!(lw.bytes_flushed(), 0);
-        let mut dw = DbWriter::new(1);
+        let mut dw = DbWriter::new(1).unwrap();
         dw.enqueue(1);
-        dw.write_complete();
+        dw.write_complete().unwrap();
         dw.reset_stats();
         assert_eq!(dw.pages_written(), 0);
     }

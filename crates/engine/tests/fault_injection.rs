@@ -1,0 +1,160 @@
+//! The fault-injection harness: deliberately corrupt live simulator
+//! state and prove each corruption surfaces as a typed
+//! [`odb_core::Error::CorruptState`] — never as a process abort.
+//!
+//! Each test drives a healthy simulation in short slices, injects one
+//! [`Fault`] as soon as the state it targets exists (a held lock, an
+//! in-flight flush, a busy CPU), then keeps driving until the event
+//! loop reports the corruption. The assertions pin down *which*
+//! component detected it, so a refactor that silently widens a check
+//! fails here, not in production sweeps.
+
+#![cfg(feature = "invariants")]
+
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_core::Error;
+use odb_des::SimTime;
+use odb_engine::system::{Fault, SystemParams, SystemSim};
+use odb_memsim::rates::{EventRates, SpaceRates};
+
+fn flat_rates() -> EventRates {
+    let user = SpaceRates {
+        tc_miss: 0.004,
+        l2_miss: 0.015,
+        l3_miss: 0.006,
+        l3_coherence_miss: 0.0001,
+        l3_writeback: 0.0015,
+        tlb_miss: 0.002,
+        branch_mispred: 0.004,
+        other_stall_cpi: 0.3,
+    };
+    let os = SpaceRates {
+        l3_miss: 0.004,
+        l2_miss: 0.010,
+        ..user
+    };
+    EventRates { user, os }
+}
+
+fn sim(warehouses: u32, clients: u32, processors: u32) -> SystemSim {
+    let config = OltpConfig::new(
+        WorkloadConfig::new(warehouses, clients).unwrap(),
+        SystemConfig::xeon_quad().with_processors(processors),
+    )
+    .unwrap();
+    SystemSim::new(config, SystemParams::default(), flat_rates(), 42).unwrap()
+}
+
+/// Advances `s` in 5 ms slices until `fault` applies; panics if the
+/// targeted state never materialises within the budget.
+fn drive_until_injected(s: &mut SystemSim, fault: Fault) {
+    for _ in 0..400 {
+        if s.inject_fault(fault) {
+            return;
+        }
+        s.run_for(SimTime::from_millis(5))
+            .expect("simulation must be healthy before the injection");
+    }
+    panic!("{fault:?} never found state to corrupt");
+}
+
+/// Keeps the event loop running until it reports an error; panics if
+/// the injected corruption never surfaces within the budget.
+fn drive_until_error(s: &mut SystemSim) -> Error {
+    for _ in 0..2_000 {
+        if let Err(e) = s.run_for(SimTime::from_millis(5)) {
+            return e;
+        }
+    }
+    panic!("injected corruption never surfaced as an error");
+}
+
+/// Dropping a held lock from the table makes the eventual release a
+/// release-of-never-acquired, detected by the lock manager.
+#[test]
+fn dropped_lock_surfaces_as_corrupt_state() {
+    // High contention (10 W) keeps locks held long enough to catch.
+    let mut s = sim(10, 12, 2);
+    drive_until_injected(&mut s, Fault::DropHeldLock);
+    let err = drive_until_error(&mut s);
+    assert!(
+        matches!(
+            err,
+            Error::CorruptState {
+                component: "engine::locks",
+                ..
+            }
+        ),
+        "expected a lock-manager corruption, got: {err}"
+    );
+}
+
+/// Discarding an in-flight log flush leaves an orphaned completion
+/// event; the group-commit state machine reports the imbalance.
+#[test]
+fn truncated_commit_batch_surfaces_as_corrupt_state() {
+    let mut s = sim(10, 12, 2);
+    drive_until_injected(&mut s, Fault::TruncateCommitBatch);
+    let err = drive_until_error(&mut s);
+    assert!(
+        matches!(
+            err,
+            Error::CorruptState {
+                component: "engine::writers",
+                ..
+            }
+        ),
+        "expected a log-writer corruption, got: {err}"
+    );
+}
+
+/// A NaN-poisoned sampling CDF does not abort sampling (draws clamp
+/// into the domain), so the event loop keeps running — the corruption
+/// is caught by the explicit invariant check instead.
+#[test]
+fn poisoned_cdf_is_caught_by_verify_invariants() {
+    let mut s = sim(10, 12, 2);
+    s.verify_invariants()
+        .expect("fresh simulator must pass its invariant checks");
+    assert!(
+        s.inject_fault(Fault::PoisonCdf),
+        "the customer CDF is always available to poison"
+    );
+    // Sampling tolerates the poison: the loop must not abort or error.
+    s.run_for(SimTime::from_millis(50))
+        .expect("a poisoned CDF must not abort the event loop");
+    let err = s
+        .verify_invariants()
+        .expect_err("the poisoned CDF must fail the invariant check");
+    assert!(
+        matches!(
+            err,
+            Error::CorruptState {
+                component: "memsim::dist",
+                ..
+            }
+        ),
+        "expected a distribution corruption, got: {err}"
+    );
+}
+
+/// Clearing a busy CPU's running slot desynchronises the run queue
+/// from the event calendar; the scheduler reports the orphaned burst.
+#[test]
+fn desynced_run_queue_surfaces_as_corrupt_state() {
+    // Few clients per CPU so the ready queue drains and the orphaned
+    // burst completion lands on an idle CPU.
+    let mut s = sim(10, 3, 2);
+    drive_until_injected(&mut s, Fault::DesyncRunQueue);
+    let err = drive_until_error(&mut s);
+    assert!(
+        matches!(
+            err,
+            Error::CorruptState {
+                component: "engine::system",
+                ..
+            }
+        ),
+        "expected a scheduler corruption, got: {err}"
+    );
+}

@@ -55,7 +55,10 @@ fn drive_to_completion(mut manager: LockManager, want: Vec<Vec<LockTarget>>) -> 
             // Done acquiring: commit, releasing everything and waking any
             // handed-over waiters.
             let held = procs[i].targets.clone();
-            for woken in manager.release_all(pid, &held) {
+            for woken in manager
+                .release_all(pid, &held)
+                .expect("scheduler releases only held locks")
+            {
                 let w = woken.0 as usize;
                 assert!(procs[w].parked, "woke a process that was not blocked");
                 procs[w].parked = false;
@@ -127,7 +130,7 @@ fn in_order_acquisition_is_accepted() {
     for &t in &ts {
         assert_eq!(m.acquire(pid, t), AcquireResult::Granted);
     }
-    assert!(m.release_all(pid, &ts).is_empty());
+    assert!(m.release_all(pid, &ts).unwrap().is_empty());
 }
 
 /// Out-of-order acquisition is *detected* by the `invariants` feature:

@@ -514,7 +514,8 @@ pub fn fig19(options: &SweepOptions) -> Result<(Sweep, FitReport), odb_core::Err
         &odb_core::config::SystemConfig::itanium2_quad(),
         options,
         &points,
-    )?;
+    );
+    sweep.ensure_complete()?;
     let report = fig17(&sweep, 4)?;
     Ok((sweep, report))
 }

@@ -216,11 +216,17 @@ fn xeon_sweep(options: &SweepOptions, out: &Path) -> Result<Sweep, Box<dyn std::
         }
         None => {
             eprintln!("running the Xeon sweep (27 configurations with client search)...");
-            let sweep = Sweep::run(&SystemConfig::xeon_quad(), options)?;
+            let sweep = Sweep::run(&SystemConfig::xeon_quad(), options);
+            for ((p, w), e) in sweep.failures() {
+                eprintln!("sweep point (W={w}, P={p}) failed: {e}");
+            }
+            // Archive the rows that did measure before gating, so a
+            // partial ladder is still inspectable after a failure.
             std::fs::write(
                 out.join("sweep.csv"),
                 odb_experiments::persist::sweep_to_csv(&sweep),
             )?;
+            sweep.ensure_complete()?;
             Ok(sweep)
         }
     }
@@ -410,7 +416,8 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
                 processors: 4,
             })
             .collect();
-        let sweep = Sweep::run_points(&system, options, &points)?;
+        let sweep = Sweep::run_points(&system, options, &points);
+        sweep.ensure_complete()?;
         let fit = figures::fig17(&sweep, 4)?;
         let cpi_at = |w: u32| {
             sweep
@@ -452,7 +459,7 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
         )?;
         let params = trace_params(&config, &WorkloadEstimates::initial());
         let characterizer = Characterizer::new(config.system.clone(), params)?;
-        let sampler = TxnSampler::new(PageMap::new(w));
+        let sampler = TxnSampler::new(PageMap::new(w))?;
         let warm = options.measure.char_warmup_instructions;
         let run = options.measure.char_measure_instructions;
         let on = {
@@ -464,7 +471,7 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
                 42,
                 warm,
                 run,
-            )
+            )?
         };
         let off = {
             let s = sampler.clone();
@@ -475,7 +482,7 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
                 42,
                 warm,
                 run,
-            )
+            )?
         };
         t.row(vec![
             w.to_string(),
@@ -502,7 +509,8 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
             warehouses: 800,
             processors: 4,
         }];
-        let sweep = Sweep::run_points(&system, options, &points)?;
+        let sweep = Sweep::run_points(&system, options, &points);
+        sweep.ensure_complete()?;
         let row = sweep.row(4, 800).expect("measured");
         t.row(vec![
             label.into(),
@@ -541,13 +549,13 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
                 if cmp {
                     characterizer = characterizer.with_shared_l3();
                 }
-                let sampler = TxnSampler::new(PageMap::new(w));
+                let sampler = TxnSampler::new(PageMap::new(w))?;
                 let c = characterizer.run(
                     |_pid| OdbRefSource::with_sampler(sampler.clone(), 4),
                     42,
                     options.measure.char_warmup_instructions * 2,
                     options.measure.char_measure_instructions,
-                );
+                )?;
                 cells.push(format!("{:.3}", c.mpi() * 1e3));
                 if w == 800 {
                     cells.push(format!("{:.1}", c.coherence_miss_fraction() * 100.0));
@@ -583,13 +591,13 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
             let params = trace_params(&config, &WorkloadEstimates::initial());
             let characterizer = Characterizer::new(config.system.clone(), params)?
                 .with_l3_policy(policy);
-            let sampler = TxnSampler::new(PageMap::new(w));
+            let sampler = TxnSampler::new(PageMap::new(w))?;
             let c = characterizer.run(
                 |_pid| OdbRefSource::with_sampler(sampler.clone(), 4),
                 42,
                 options.measure.char_warmup_instructions,
                 options.measure.char_measure_instructions,
-            );
+            )?;
             cells.push(format!("{:.3}", c.mpi() * 1e3));
             if w == 800 {
                 cells.push(format!("{:.1}", c.coherence_miss_fraction() * 100.0));
@@ -649,13 +657,13 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
             if prefetch {
                 characterizer = characterizer.with_l2_prefetch();
             }
-            let sampler = TxnSampler::new(PageMap::new(800));
+            let sampler = TxnSampler::new(PageMap::new(800))?;
             let c = characterizer.run(
                 |_pid| OdbRefSource::with_sampler(sampler.clone(), 4),
                 42,
                 options.measure.char_warmup_instructions,
                 options.measure.char_measure_instructions,
-            );
+            )?;
             let instr = (c.user_counts.instructions + c.os_counts.instructions) as f64;
             let l2 = (c.user_counts.l2_misses + c.os_counts.l2_misses) as f64;
             let pf = (c.user_counts.prefetch_l3_fills + c.os_counts.prefetch_l3_fills) as f64;
@@ -720,7 +728,8 @@ fn ablations(options: &SweepOptions, out: &Path) -> Result<(), Box<dyn std::erro
             warehouses: 1200,
             processors: 4,
         }];
-        let sweep = Sweep::run_points(&system, options, &points)?;
+        let sweep = Sweep::run_points(&system, options, &points);
+        sweep.ensure_complete()?;
         let row = sweep.row(4, 1200).expect("measured");
         t.row(vec![
             disks.to_string(),

@@ -20,6 +20,14 @@
 //! with the ordered collection above, a `jobs = N` sweep is
 //! **bit-identical** to a `jobs = 1` sweep (asserted by the
 //! `parallel_sweep_matches_sequential` test).
+//!
+//! # Failure isolation
+//!
+//! One bad point fails that point, not the ladder: a point whose
+//! configuration is rejected or whose simulation reports corrupt state
+//! lands in [`Sweep::failures`] while every other point still runs and
+//! is measured. Callers that need an all-or-nothing sweep gate on
+//! [`Sweep::ensure_complete`].
 
 use crate::ladder::{paper_ladder, ConfigPoint, CLIENT_GRID};
 use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
@@ -27,7 +35,7 @@ use odb_core::metrics::Measurement;
 use odb_engine::{OdbSimulator, SimOptions};
 use odb_memsim::trace::Characterization;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The paper's utilization floor for comparable configurations (§3.2.1).
@@ -134,6 +142,7 @@ pub struct ClientSearch {
 #[derive(Debug, Clone, Default)]
 pub struct Sweep {
     rows: BTreeMap<(u32, u32), SweepRow>,
+    failures: BTreeMap<(u32, u32), odb_core::Error>,
 }
 
 impl Sweep {
@@ -141,10 +150,10 @@ impl Sweep {
     /// [`SystemConfig::xeon_quad`] or [`SystemConfig::itanium2_quad`];
     /// the `processors` field is overridden per point).
     ///
-    /// # Errors
-    ///
-    /// Propagates configuration/simulation errors.
-    pub fn run(system: &SystemConfig, options: &SweepOptions) -> Result<Self, odb_core::Error> {
+    /// Infallible by design: a point that errors is recorded in
+    /// [`Sweep::failures`] and the remaining points still run. Callers
+    /// that need every point measured gate on [`Sweep::ensure_complete`].
+    pub fn run(system: &SystemConfig, options: &SweepOptions) -> Self {
         Self::run_points(system, options, &paper_ladder())
     }
 
@@ -152,62 +161,98 @@ impl Sweep {
     /// [`SweepOptions::jobs`] worker threads. Output is independent of
     /// the worker count; see the module docs for why.
     ///
-    /// # Errors
-    ///
-    /// Propagates the first configuration/simulation error (remaining
-    /// points are abandoned).
+    /// A point whose configuration or simulation errors is recorded in
+    /// [`Sweep::failures`] keyed by `(P, W)`; the other points are
+    /// unaffected.
     pub fn run_points(
         system: &SystemConfig,
         options: &SweepOptions,
         points: &[ConfigPoint],
-    ) -> Result<Self, odb_core::Error> {
+    ) -> Self {
         let jobs = options.jobs.clamp(1, points.len().max(1));
         if jobs == 1 {
-            let mut rows = BTreeMap::new();
+            let mut sweep = Self::default();
             for &point in points {
-                let row = Self::run_point(system, options, point)?;
-                rows.insert((point.processors, point.warehouses), row);
+                let key = (point.processors, point.warehouses);
+                match Self::run_point(system, options, point) {
+                    Ok(row) => {
+                        sweep.rows.insert(key, row);
+                    }
+                    Err(e) => {
+                        sweep.failures.insert(key, e);
+                    }
+                }
             }
-            return Ok(Self { rows });
+            return sweep;
         }
 
         // Work distribution: a shared atomic cursor hands each worker the
         // next pending point, so a slow point (the saturated 1200 W
         // search) never stalls the rest of the grid behind a static
-        // partition. Finished rows land in the shared map keyed by
-        // (P, W); the first error wins and aborts the remaining work.
+        // partition. Finished rows and failures land in shared maps keyed
+        // by (P, W), so collection order is grid order regardless of
+        // completion order — and a failed point never aborts its peers.
         let rows = Mutex::new(BTreeMap::new());
-        let first_error = Mutex::new(None::<odb_core::Error>);
+        let failures = Mutex::new(BTreeMap::new());
         let cursor = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&point) = points.get(index) else { break };
+                    let key = (point.processors, point.warehouses);
                     match Self::run_point(system, options, point) {
                         Ok(row) => {
-                            lock_clean(&rows)
-                                .insert((point.processors, point.warehouses), row);
+                            lock_clean(&rows).insert(key, row);
                         }
                         Err(e) => {
-                            abort.store(true, Ordering::Relaxed);
-                            lock_clean(&first_error).get_or_insert(e);
-                            break;
+                            lock_clean(&failures).insert(key, e);
                         }
                     }
                 });
             }
         });
-        match first_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            Some(e) => Err(e),
-            None => Ok(Self {
-                rows: rows.into_inner().unwrap_or_else(|p| p.into_inner()),
-            }),
+        Self {
+            rows: rows.into_inner().unwrap_or_else(|p| p.into_inner()),
+            failures: failures.into_inner().unwrap_or_else(|p| p.into_inner()),
         }
+    }
+
+    /// Points that failed to measure, keyed by `(P, W)` in grid order.
+    pub fn failures(&self) -> &BTreeMap<(u32, u32), odb_core::Error> {
+        &self.failures
+    }
+
+    /// Errors if any point failed, returning the first failure in grid
+    /// order annotated with its `(P, W)` coordinates. Use after
+    /// [`Sweep::run`]/[`Sweep::run_points`] when partial ladders are not
+    /// acceptable (persistence, figure regeneration, benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// The first failed point's error, annotated with its coordinates
+    /// where the variant carries a message (the variant itself is
+    /// preserved, so `InvalidConfig` stays distinguishable from
+    /// `CorruptState`).
+    pub fn ensure_complete(&self) -> Result<(), odb_core::Error> {
+        let Some(((p, w), e)) = self.failures.iter().next() else {
+            return Ok(());
+        };
+        Err(match e.clone() {
+            odb_core::Error::InvalidConfig { field, reason } => {
+                odb_core::Error::InvalidConfig {
+                    field,
+                    reason: format!("sweep point (W={w}, P={p}): {reason}"),
+                }
+            }
+            odb_core::Error::CorruptState { component, detail } => {
+                odb_core::Error::CorruptState {
+                    component,
+                    detail: format!("sweep point (W={w}, P={p}): {detail}"),
+                }
+            }
+            other => other,
+        })
     }
 
     /// Probe-fidelity CPU utilization of `point` at `clients` clients —
@@ -300,6 +345,7 @@ impl Sweep {
                 .into_iter()
                 .map(|r| ((r.point.processors, r.point.warehouses), r))
                 .collect(),
+            failures: BTreeMap::new(),
         }
     }
 
@@ -359,8 +405,8 @@ mod tests {
             },
         ];
         let sweep =
-            Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points)
-                .unwrap();
+            Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points);
+        sweep.ensure_complete().unwrap();
         assert_eq!(sweep.len(), 2);
         assert!(!sweep.is_empty());
         let row = sweep.row(1, 10).expect("measured");
@@ -391,11 +437,11 @@ mod tests {
             })
             .collect();
         let system = SystemConfig::xeon_quad();
-        let sequential =
-            Sweep::run_points(&system, &SweepOptions::quick(), &points).unwrap();
+        let sequential = Sweep::run_points(&system, &SweepOptions::quick(), &points);
         let parallel =
-            Sweep::run_points(&system, &SweepOptions::quick().with_jobs(4), &points)
-                .unwrap();
+            Sweep::run_points(&system, &SweepOptions::quick().with_jobs(4), &points);
+        sequential.ensure_complete().unwrap();
+        parallel.ensure_complete().unwrap();
         assert_eq!(sequential.len(), parallel.len());
         for (a, b) in sequential.iter().zip(parallel.iter()) {
             assert_eq!(a.point, b.point, "collection order must be grid order");
@@ -423,7 +469,8 @@ mod tests {
                 processors: 2,
             },
         ];
-        let sweep = Sweep::run_points(&system, &options, &points).unwrap();
+        let sweep = Sweep::run_points(&system, &options, &points);
+        sweep.ensure_complete().unwrap();
         for &point in &points {
             // Reference: first qualifying count by exhaustive ascent.
             let minimal_index = CLIENT_GRID.iter().position(|&c| {
@@ -440,9 +487,12 @@ mod tests {
         }
     }
 
-    /// Errors from any worker surface; successful points are discarded.
+    /// Failure isolation: a bad point is recorded in `failures` while the
+    /// good points still run and are measured — one bad point fails that
+    /// point, not the ladder. `ensure_complete` then surfaces the failure
+    /// with its coordinates, preserving the error variant.
     #[test]
-    fn parallel_sweep_propagates_errors() {
+    fn bad_point_fails_alone_and_gates_completion() {
         let points = [
             ConfigPoint {
                 warehouses: 10,
@@ -453,12 +503,28 @@ mod tests {
                 processors: 2,
             },
         ];
-        let err = Sweep::run_points(
+        let sweep = Sweep::run_points(
             &SystemConfig::xeon_quad(),
             &SweepOptions::quick().with_jobs(2),
             &points,
         );
-        assert!(err.is_err());
+        // The good point was measured despite its neighbour failing.
+        assert_eq!(sweep.len(), 1);
+        let row = sweep.row(1, 10).expect("good point measured");
+        assert!(row.measurement.transactions > 0);
+        // The bad point is recorded under its (P, W) key.
+        assert_eq!(sweep.failures().len(), 1);
+        assert!(matches!(
+            sweep.failures().get(&(2, 0)),
+            Some(odb_core::Error::InvalidConfig { .. })
+        ));
+        // The all-or-nothing gate names the point and keeps the variant.
+        let err = sweep.ensure_complete().unwrap_err();
+        assert!(matches!(err, odb_core::Error::InvalidConfig { .. }));
+        assert!(
+            err.to_string().contains("(W=0, P=2)"),
+            "gate error must name the point: {err}"
+        );
     }
 
     /// The probe/measure comparability contract: quick options leave the

@@ -202,10 +202,14 @@ impl SetAssocCache {
         if coherence {
             self.stats.coherence_misses += 1;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| (l.valid, l.stamp))
-            .expect("associativity is nonzero");
+        // `CacheGeometry` validation guarantees at least one way; were a
+        // zero-way set ever constructed anyway it would simply never fill.
+        let Some(victim) = ways.iter_mut().min_by_key(|l| (l.valid, l.stamp)) else {
+            return Access::Miss {
+                evicted: None,
+                coherence,
+            };
+        };
         let mut evicted = None;
         if victim.valid {
             if victim.dirty {

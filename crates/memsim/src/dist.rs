@@ -7,6 +7,7 @@
 //! to an approximate rejection-free inversion for large ones so that a
 //! billion-page domain needs no billion-entry table.
 
+use odb_core::Error;
 use rand::Rng;
 
 /// A Zipf(`n`, `s`) sampler over `0..n` where rank 0 is the hottest.
@@ -15,10 +16,11 @@ use rand::Rng;
 /// use odb_memsim::dist::Zipf;
 /// use rand::{rngs::SmallRng, SeedableRng};
 ///
-/// let z = Zipf::new(1000, 0.9);
+/// let z = Zipf::new(1000, 0.9)?;
 /// let mut rng = SmallRng::seed_from_u64(1);
 /// let x = z.sample(&mut rng);
 /// assert!(x < 1000);
+/// # Ok::<(), odb_core::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Zipf {
@@ -50,12 +52,24 @@ impl Zipf {
     /// `s = 0` degenerates to uniform; larger `s` concentrates mass on
     /// small ranks.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is zero or `s` is negative or non-finite.
-    pub fn new(n: u64, s: f64) -> Self {
-        assert!(n > 0, "Zipf domain must be nonempty");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+    /// Returns [`Error::InvalidConfig`] if `n` is zero or `s` is negative
+    /// or non-finite. A successfully constructed sampler has a finite,
+    /// monotone CDF, so [`Zipf::sample`] is infallible by invariant.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error::InvalidConfig {
+                field: "zipf_domain",
+                reason: "Zipf domain must be nonempty".to_owned(),
+            });
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(Error::InvalidConfig {
+                field: "zipf_exponent",
+                reason: format!("Zipf exponent must be finite and >= 0, got {s}"),
+            });
+        }
         let repr = if n <= TABLE_LIMIT {
             let mut cdf = Vec::with_capacity(n as usize);
             let mut total = 0.0;
@@ -77,7 +91,7 @@ impl Zipf {
                 n_pow: (n as f64).powf(1.0 - s),
             }
         };
-        Self { n, repr }
+        Ok(Self { n, repr })
     }
 
     /// The domain size.
@@ -85,12 +99,63 @@ impl Zipf {
         self.n
     }
 
+    /// Checks the tabulated CDF for corruption: every entry must be finite
+    /// and the sequence non-decreasing. Approximate representations carry
+    /// no table and always pass.
+    ///
+    /// Construction guarantees this holds, so the check only fails if the
+    /// sampler's state was corrupted after the fact (see
+    /// [`Zipf::inject_poison_cdf`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptState`] describing the first bad entry.
+    pub fn check_cdf(&self) -> Result<(), Error> {
+        if let Repr::Table(cdf) = &self.repr {
+            let mut prev = 0.0f64;
+            for (i, &v) in cdf.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(Error::corrupt(
+                        "memsim::dist",
+                        format!("cdf entry {i} is not finite ({v})"),
+                    ));
+                }
+                if v < prev {
+                    return Err(Error::corrupt(
+                        "memsim::dist",
+                        format!("cdf entry {i} decreases ({v} < {prev})"),
+                    ));
+                }
+                prev = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault injection: overwrites the first tabulated CDF entry with NaN.
+    ///
+    /// Returns `true` if the sampler is table-backed and was poisoned,
+    /// `false` for the approximate representations (nothing to poison).
+    /// After poisoning, [`Zipf::check_cdf`] reports
+    /// [`Error::CorruptState`]; [`Zipf::sample`] stays abort-free (its
+    /// total-order search tolerates NaN) but its draws are meaningless.
+    #[cfg(feature = "invariants")]
+    pub fn inject_poison_cdf(&mut self) -> bool {
+        if let Repr::Table(cdf) = &mut self.repr {
+            if let Some(first) = cdf.first_mut() {
+                *first = f64::NAN;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Draws one rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match &self.repr {
             Repr::Table(cdf) => {
                 let u: f64 = rng.gen();
-                match cdf.binary_search_by(|v| v.partial_cmp(&u).expect("cdf is finite")) {
+                match cdf.binary_search_by(|v| v.total_cmp(&u)) {
                     Ok(i) => i as u64,
                     Err(i) => (i as u64).min(self.n - 1),
                 }
@@ -129,7 +194,7 @@ mod tests {
 
     #[test]
     fn uniform_when_s_is_zero() {
-        let z = Zipf::new(10, 0.0);
+        let z = Zipf::new(10, 0.0).unwrap();
         let h = histogram(&z, 100_000, 7);
         for &count in &h {
             let p = count as f64 / 100_000.0;
@@ -139,7 +204,7 @@ mod tests {
 
     #[test]
     fn skew_concentrates_on_low_ranks() {
-        let z = Zipf::new(100, 1.0);
+        let z = Zipf::new(100, 1.0).unwrap();
         let h = histogram(&z, 200_000, 11);
         assert!(h[0] > h[10], "rank 0 hotter than rank 10");
         assert!(h[0] > h[50] * 5, "strong skew");
@@ -151,7 +216,7 @@ mod tests {
     #[test]
     fn samples_stay_in_domain() {
         for &(n, s) in &[(1u64, 0.9), (7, 0.5), (1000, 1.2), (1 << 22, 0.9), (1 << 22, 1.0)] {
-            let z = Zipf::new(n, s);
+            let z = Zipf::new(n, s).unwrap();
             let mut rng = SmallRng::seed_from_u64(3);
             for _ in 0..2_000 {
                 assert!(z.sample(&mut rng) < n);
@@ -164,7 +229,7 @@ mod tests {
         // Approximate path: top 1% of ranks should get far more than 1%
         // of mass at s = 0.9.
         let n = (TABLE_LIMIT + 1) * 4;
-        let z = Zipf::new(n, 0.9);
+        let z = Zipf::new(n, 0.9).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let cutoff = n / 100;
         let mut hot = 0;
@@ -180,7 +245,7 @@ mod tests {
 
     #[test]
     fn determinism_per_seed() {
-        let z = Zipf::new(5000, 0.8);
+        let z = Zipf::new(5000, 0.8).unwrap();
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
         for _ in 0..100 {
@@ -189,14 +254,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonempty")]
-    fn zero_domain_panics() {
-        let _ = Zipf::new(0, 1.0);
+    fn zero_domain_is_rejected() {
+        assert!(matches!(
+            Zipf::new(0, 1.0),
+            Err(Error::InvalidConfig { field: "zipf_domain", .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "exponent")]
-    fn negative_exponent_panics() {
-        let _ = Zipf::new(10, -1.0);
+    fn bad_exponents_are_rejected() {
+        for s in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Zipf::new(10, s),
+                Err(Error::InvalidConfig { field: "zipf_exponent", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn fresh_cdf_passes_check() {
+        for &(n, s) in &[(1u64, 0.5), (1000, 1.09), (1 << 22, 0.9)] {
+            assert_eq!(Zipf::new(n, s).unwrap().check_cdf(), Ok(()));
+        }
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn poisoned_cdf_is_detected_and_sampling_does_not_abort() {
+        let mut z = Zipf::new(64, 1.0).unwrap();
+        assert!(z.inject_poison_cdf());
+        assert!(matches!(
+            z.check_cdf(),
+            Err(Error::CorruptState { component: "memsim::dist", .. })
+        ));
+        // Sampling a poisoned table must not abort the process; the draws
+        // are garbage but stay inside the domain.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 64);
+        }
     }
 }

@@ -5,6 +5,7 @@ use crate::cache::{Access, Evicted, SetAssocCache};
 use crate::coherence::Invalidate;
 use crate::tlb::Tlb;
 use odb_core::config::{CacheGeometry, SystemConfig};
+use odb_core::Error;
 
 /// Execution space an event is attributed to (the paper splits every
 /// metric into user and OS components).
@@ -135,23 +136,32 @@ pub struct CpuHierarchy {
 /// Xeon MP's L1 data cache: 8 KB, 4-way, 64 B lines. Fixed because the
 /// paper's analysis never varies it (the L1D is invisible in Tables 2–4;
 /// its effect is folded into the 0.5 base CPI).
-fn l1d_geometry() -> CacheGeometry {
-    CacheGeometry::new(8 << 10, 64, 4).expect("static geometry")
+fn l1d_geometry() -> Result<CacheGeometry, Error> {
+    CacheGeometry::new(8 << 10, 64, 4)
 }
 
 impl CpuHierarchy {
     /// Builds the stack described by a [`SystemConfig`] (true-LRU L3).
-    pub fn new(config: &SystemConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration describes an
+    /// unbuildable stack (e.g. zero TLB entries).
+    pub fn new(config: &SystemConfig) -> Result<Self, Error> {
         Self::with_l3_policy(config, crate::policy::ReplacementPolicy::Lru)
     }
 
     /// Builds the stack with an explicit L3 replacement policy — the §7
     /// "judicious caching schemes" exploration hook. Inner levels stay
     /// LRU (they are small and reuse-dominated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] as for [`CpuHierarchy::new`].
     pub fn with_l3_policy(
         config: &SystemConfig,
         policy: crate::policy::ReplacementPolicy,
-    ) -> Self {
+    ) -> Result<Self, Error> {
         let l3 = std::rc::Rc::new(std::cell::RefCell::new(SetAssocCache::with_policy(
             config.l3, policy,
         )));
@@ -163,19 +173,23 @@ impl CpuHierarchy {
     /// Inner-level coherence between the sharers is not simulated (their
     /// interaction happens at the shared L3, where capacity and reuse
     /// effects dominate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] as for [`CpuHierarchy::new`].
     pub fn with_shared_l3(
         config: &SystemConfig,
         l3: std::rc::Rc<std::cell::RefCell<SetAssocCache>>,
-    ) -> Self {
-        Self {
+    ) -> Result<Self, Error> {
+        Ok(Self {
             tc: SetAssocCache::new(config.trace_cache),
-            l1d: SetAssocCache::new(l1d_geometry()),
+            l1d: SetAssocCache::new(l1d_geometry()?),
             l2: SetAssocCache::new(config.l2),
             l3,
-            tlb: Tlb::new(config.tlb_entries as usize),
+            tlb: Tlb::new(config.tlb_entries as usize)?,
             counts: [HierarchyCounts::default(); 2],
             l2_prefetch: false,
-        }
+        })
     }
 
     /// Enables next-line prefetching into L2 on demand misses. Prefetch
@@ -321,7 +335,7 @@ mod tests {
     use odb_core::config::SystemConfig;
 
     fn hier() -> CpuHierarchy {
-        CpuHierarchy::new(&SystemConfig::xeon_quad())
+        CpuHierarchy::new(&SystemConfig::xeon_quad()).unwrap()
     }
 
     #[test]
@@ -429,7 +443,7 @@ mod tests {
     fn next_line_prefetch_converts_sequential_misses_to_hits() {
         let config = SystemConfig::xeon_quad();
         let run = |prefetch: bool| {
-            let mut h = CpuHierarchy::new(&config);
+            let mut h = CpuHierarchy::new(&config).unwrap();
             if prefetch {
                 h.enable_l2_prefetch();
             }
@@ -455,8 +469,8 @@ mod tests {
         use std::rc::Rc;
         let config = SystemConfig::xeon_quad();
         let l3 = Rc::new(RefCell::new(SetAssocCache::new(config.l3)));
-        let mut core0 = CpuHierarchy::with_shared_l3(&config, l3.clone());
-        let mut core1 = CpuHierarchy::with_shared_l3(&config, l3.clone());
+        let mut core0 = CpuHierarchy::with_shared_l3(&config, l3.clone()).unwrap();
+        let mut core1 = CpuHierarchy::with_shared_l3(&config, l3.clone()).unwrap();
         // Core 0 fetches a line into the shared L3.
         let out0 = core0.access_data(0x70_0000, false, Space::User);
         assert!(out0.l3_fill.is_some(), "cold fill through core 0");

@@ -1,5 +1,7 @@
 //! A fully-associative, LRU data-TLB over 4 KB pages.
 
+use odb_core::Error;
+
 /// Translation look-aside buffer statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
@@ -28,9 +30,10 @@ impl TlbStats {
 /// ```
 /// use odb_memsim::tlb::Tlb;
 ///
-/// let mut t = Tlb::new(64);
+/// let mut t = Tlb::new(64)?;
 /// assert!(!t.access(0x1000)); // cold miss
 /// assert!(t.access(0x1FFF));  // same 4 KB page: hit
+/// # Ok::<(), odb_core::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -47,17 +50,22 @@ const PAGE_SHIFT: u32 = 12;
 impl Tlb {
     /// Creates an empty TLB holding `entries` translations.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries` is zero.
-    pub fn new(entries: usize) -> Self {
-        assert!(entries > 0, "TLB must have at least one entry");
-        Self {
+    /// Returns [`Error::InvalidConfig`] if `entries` is zero.
+    pub fn new(entries: usize) -> Result<Self, Error> {
+        if entries == 0 {
+            return Err(Error::InvalidConfig {
+                field: "tlb_entries",
+                reason: "TLB must have at least one entry".to_owned(),
+            });
+        }
+        Ok(Self {
             entries: Vec::with_capacity(entries),
             capacity: entries,
             clock: 0,
             stats: TlbStats::default(),
-        }
+        })
     }
 
     /// Translates the page containing `addr`; returns `true` on a hit.
@@ -72,12 +80,7 @@ impl Tlb {
         self.stats.misses += 1;
         if self.entries.len() < self.capacity {
             self.entries.push((page, self.clock));
-        } else {
-            let lru = self
-                .entries
-                .iter_mut()
-                .min_by_key(|(_, stamp)| *stamp)
-                .expect("capacity > 0");
+        } else if let Some(lru) = self.entries.iter_mut().min_by_key(|(_, stamp)| *stamp) {
             *lru = (page, self.clock);
         }
         false
@@ -110,7 +113,7 @@ mod tests {
 
     #[test]
     fn same_page_hits_different_page_misses() {
-        let mut t = Tlb::new(4);
+        let mut t = Tlb::new(4).unwrap();
         assert!(!t.access(0x0000));
         assert!(t.access(0x0FFF));
         assert!(!t.access(0x1000));
@@ -120,7 +123,7 @@ mod tests {
 
     #[test]
     fn lru_replacement() {
-        let mut t = Tlb::new(2);
+        let mut t = Tlb::new(2).unwrap();
         t.access(0x0000); // page 0
         t.access(0x1000); // page 1
         t.access(0x0000); // refresh page 0
@@ -131,7 +134,7 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_has_no_steady_misses() {
-        let mut t = Tlb::new(64);
+        let mut t = Tlb::new(64).unwrap();
         for i in 0..64u64 {
             t.access(i << PAGE_SHIFT);
         }
@@ -148,7 +151,7 @@ mod tests {
 
     #[test]
     fn cyclic_overflow_thrashes() {
-        let mut t = Tlb::new(8);
+        let mut t = Tlb::new(8).unwrap();
         for _ in 0..4 {
             for i in 0..16u64 {
                 t.access(i << PAGE_SHIFT);
@@ -158,14 +161,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one entry")]
-    fn zero_capacity_panics() {
-        let _ = Tlb::new(0);
+    fn zero_capacity_is_rejected() {
+        assert!(matches!(
+            Tlb::new(0),
+            Err(Error::InvalidConfig { field: "tlb_entries", .. })
+        ));
     }
 
     #[test]
     fn miss_ratio_zero_when_untouched() {
-        let t = Tlb::new(4);
+        let t = Tlb::new(4).unwrap();
         assert_eq!(t.stats().miss_ratio(), 0.0);
     }
 }

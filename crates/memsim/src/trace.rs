@@ -464,13 +464,18 @@ impl Characterizer {
     /// times) with the global process id. `measure_instructions` counts
     /// per CPU; warm-up runs `warmup_instructions` per CPU first, then all
     /// statistics are reset without disturbing cache state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] if the system
+    /// configuration describes an unbuildable cache stack or sampler.
     pub fn run<S, F>(
         &self,
         mut make_source: F,
         seed: u64,
         warmup_instructions: u64,
         measure_instructions: u64,
-    ) -> Characterization
+    ) -> Result<Characterization, odb_core::Error>
     where
         S: DbRefSource,
         F: FnMut(usize) -> S,
@@ -486,6 +491,11 @@ impl Characterizer {
 
     /// Like [`Characterizer::run`], but with a caller-supplied directory —
     /// pass [`Directory::disabled`] for the coherence ablation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::InvalidConfig`] as for
+    /// [`Characterizer::run`].
     pub fn run_with_directory<S, F>(
         &self,
         directory: &mut Directory,
@@ -493,7 +503,7 @@ impl Characterizer {
         seed: u64,
         warmup_instructions: u64,
         measure_instructions: u64,
-    ) -> Characterization
+    ) -> Result<Characterization, odb_core::Error>
     where
         S: DbRefSource,
         F: FnMut(usize) -> S,
@@ -506,11 +516,11 @@ impl Characterizer {
             ));
             (0..p)
                 .map(|_| CpuHierarchy::with_shared_l3(&self.system, l3.clone()))
-                .collect()
+                .collect::<Result<_, _>>()?
         } else {
             (0..p)
                 .map(|_| CpuHierarchy::with_l3_policy(&self.system, self.l3_policy))
-                .collect()
+                .collect::<Result<_, _>>()?
         };
         if self.l2_prefetch {
             for h in &mut hierarchies {
@@ -555,7 +565,7 @@ impl Characterizer {
             })
             .collect();
 
-        let samplers = Samplers::new(&self.params);
+        let samplers = Samplers::new(&self.params)?;
 
         // Warm-up: identical loop, stats discarded afterwards.
         self.interleave(
@@ -610,13 +620,13 @@ impl Characterizer {
             )
             .unwrap_or(fallback),
         };
-        Characterization {
+        Ok(Characterization {
             rates,
             coherence_invalidations: directory.invalidations_sent() - inval_before,
             instructions: user.instructions + os.instructions,
             user_counts: user,
             os_counts: os,
-        }
+        })
     }
 
     /// Runs `instructions` per CPU, interleaved in chunks for coherence
@@ -846,16 +856,16 @@ struct Samplers {
 }
 
 impl Samplers {
-    fn new(p: &TraceParams) -> Self {
+    fn new(p: &TraceParams) -> Result<Self, odb_core::Error> {
         let blocks = |bytes: u64, unit: u64| (bytes / unit).max(1);
-        Self {
-            user_code: Zipf::new(blocks(p.user_code_bytes, CODE_BLOCK), p.code_zipf_s),
-            os_code: Zipf::new(blocks(p.os_code_bytes, CODE_BLOCK), p.code_zipf_s),
-            stack: Zipf::new(blocks(p.stack_bytes, LINE), 1.0),
-            metadata: Zipf::new(blocks(p.metadata_bytes, LINE), 1.0),
-            buffer_header: Zipf::new(blocks(p.buffer_header_bytes, LINE), 0.9),
-            os_data: Zipf::new(blocks(p.os_data_bytes, LINE), 1.1),
-        }
+        Ok(Self {
+            user_code: Zipf::new(blocks(p.user_code_bytes, CODE_BLOCK), p.code_zipf_s)?,
+            os_code: Zipf::new(blocks(p.os_code_bytes, CODE_BLOCK), p.code_zipf_s)?,
+            stack: Zipf::new(blocks(p.stack_bytes, LINE), 1.0)?,
+            metadata: Zipf::new(blocks(p.metadata_bytes, LINE), 1.0)?,
+            buffer_header: Zipf::new(blocks(p.buffer_header_bytes, LINE), 0.9)?,
+            os_data: Zipf::new(blocks(p.os_data_bytes, LINE), 1.1)?,
+        })
     }
 }
 
@@ -883,6 +893,7 @@ mod tests {
             600_000,
             400_000,
         )
+        .unwrap()
     }
 
     #[test]
@@ -956,7 +967,9 @@ mod tests {
         let ch = Characterizer::new(small_system(4), quick_params()).unwrap();
         let mut dir = Directory::disabled();
         let mut make = |_pid: usize| UniformDbSource::new(64 << 20, 0.18);
-        let c = ch.run_with_directory(&mut dir, &mut make, 5, 300_000, 200_000);
+        let c = ch
+            .run_with_directory(&mut dir, &mut make, 5, 300_000, 200_000)
+            .unwrap();
         assert_eq!(c.coherence_invalidations, 0);
         assert_eq!(c.user_counts.l3_coherence_misses, 0);
     }
@@ -1000,6 +1013,7 @@ mod tests {
                 600_000,
                 400_000,
             )
+            .unwrap()
         };
         let light = run_with_os(0.05);
         let heavy = run_with_os(0.30);
@@ -1028,6 +1042,7 @@ mod tests {
                 600_000,
                 400_000,
             )
+            .unwrap()
         };
         let calm = run_with_cs(400_000);
         let frantic = run_with_cs(25_000);
@@ -1052,6 +1067,7 @@ mod tests {
                 600_000,
                 400_000,
             )
+            .unwrap()
         };
         let a = run(&lru);
         let b = run(&bip);

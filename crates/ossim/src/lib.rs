@@ -161,6 +161,17 @@ impl RunQueue {
         self.context_switches = 0;
         self.blocking_switches = 0;
     }
+
+    /// Fault injection: clears `cpu`'s running slot without requeueing
+    /// the occupant, desynchronising the queue from whoever scheduled
+    /// the process. Returns the abandoned process, or `None` if the CPU
+    /// was idle. Only available with the `invariants` feature; exists so
+    /// the fault-injection harness can prove the engine reports this
+    /// corruption as a typed error instead of aborting.
+    #[cfg(feature = "invariants")]
+    pub fn inject_clear_running(&mut self, cpu: usize) -> Option<ProcessId> {
+        self.running[cpu].take()
+    }
 }
 
 /// Per-processor time accounting.

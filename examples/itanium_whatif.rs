@@ -23,7 +23,8 @@ fn cpi_curve(
             processors: 4,
         })
         .collect();
-    let sweep = Sweep::run_points(system, options, &points)?;
+    let sweep = Sweep::run_points(system, options, &points);
+    sweep.ensure_complete()?;
     let xs: Vec<f64> = points.iter().map(|p| p.warehouses as f64).collect();
     let ys: Vec<f64> = points
         .iter()

@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("measuring the small configurations (10..=300 W, 4P)...");
     let options = SweepOptions::standard();
-    let sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &small)?;
+    let sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &small);
+    sweep.ensure_complete()?;
 
     let xs: Vec<f64> = small.iter().map(|p| p.warehouses as f64).collect();
     let ys: Vec<f64> = small
@@ -65,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             processors: 4,
         })
         .collect();
-    let big_sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &big)?;
+    let big_sweep = Sweep::run_points(&SystemConfig::xeon_quad(), &options, &big);
+    big_sweep.ensure_complete()?;
     let held: Vec<(f64, f64)> = big
         .iter()
         .map(|p| {

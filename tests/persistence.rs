@@ -18,8 +18,10 @@ fn mini_sweep() -> Sweep {
             })
         })
         .collect();
-    Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points)
-        .expect("mini sweep")
+    let sweep =
+        Sweep::run_points(&SystemConfig::xeon_quad(), &SweepOptions::quick(), &points);
+    sweep.ensure_complete().expect("mini sweep");
+    sweep
 }
 
 #[test]
