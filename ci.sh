@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # The whole gate in one command: build, tests, invariant-armed tests,
-# the workspace static-analysis pass, and the parallel-sweep perf gate.
+# clippy at -D warnings across every target, the workspace
+# static-analysis pass, and the parallel-sweep perf gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
 cargo test -q --workspace --features invariants
+cargo clippy --workspace --all-targets --features invariants -- -D warnings
 cargo run -p odb-analyzer
 
 # Panic-freedom ratchet: the analyzer above enforces "no worse than

@@ -22,6 +22,10 @@
 //!   simulated time (`from_secs_f64`, `from_nanos(x as u64)` casts) is
 //!   confined to `crates/des/src/time.rs`, which owns the rounding and
 //!   clamping contracts.
+//! * **observer seam** ([`lints::observer_seam`]) — `.emit(`/`.emit_with(`
+//!   observer-hook calls in the simulation crates must not sit inside
+//!   `#[cfg(feature = …)]` blocks: the event stream has to be identical in
+//!   every build flavour (gate the observer *registration* instead).
 //! * **stray files** ([`lints::stray_files`]) — editor/backup droppings
 //!   (`*.tmp`, `*.bak`, …) anywhere in the repository, and orphan `.rs`
 //!   modules under any crate's `src/` that no `mod` declaration reaches.
@@ -76,6 +80,7 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     let panic_counts = lints::panic_sites(&model, &mut violations);
     lints::lock_order(&model, &mut violations);
     lints::raw_time(&model, &mut violations);
+    lints::observer_seam(&model, &mut violations);
     lints::stray_files(&model, &mut violations);
 
     let baseline_path = baseline_path(root);

@@ -1,4 +1,4 @@
-//! The four lint passes.
+//! The five lint passes.
 //!
 //! Each pass pushes [`Violation`]s into a shared vector; the panic pass
 //! additionally returns per-crate site counts for the baseline ratchet.
@@ -177,6 +177,97 @@ pub fn raw_time(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Crates whose observer-hub emissions are audited: hook calls must not
+/// hide inside `#[cfg(feature = …)]` blocks.
+pub const OBSERVER_AUDITED: &[&str] = &["des", "engine", "iosim", "ossim"];
+
+/// Observer-hub emission call tokens.
+const EMIT_TOKENS: &[&str] = &[".emit(", ".emit_with("];
+
+/// Keeps the observer seam unconditional: an `.emit(`/`.emit_with(` call
+/// inside a `#[cfg(feature = …)]` block means the event stream differs by
+/// build flavour, so an observer registered in one flavour silently sees
+/// fewer events in another. Consumers may be feature-gated (registration
+/// is cheap and invisible when absent); the *emissions* may not. Escape:
+/// `// analyzer:allow(observer_seam)` with a justification.
+pub fn observer_seam(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
+    for name in OBSERVER_AUDITED {
+        let Some(krate) = model.get(name) else { continue };
+        for file in &krate.src_files {
+            let code_lines: Vec<&str> =
+                file.lines.iter().map(|l| l.code.as_str()).collect();
+            let in_feature = mark_cfg_feature(&code_lines);
+            for (i, line) in file.lines.iter().enumerate() {
+                if !in_feature[i] || line.in_test || line.allows("observer_seam") {
+                    continue;
+                }
+                if EMIT_TOKENS.iter().any(|t| line.code.contains(t)) {
+                    violations.push(Violation::new(
+                        Lint::ObserverSeam,
+                        &file.rel_path,
+                        i + 1,
+                        "observer-hook emission inside a `#[cfg(feature = …)]` block; \
+                         hooks must fire in every build flavour so registered observers \
+                         see the same event stream — gate the *observer registration* \
+                         instead (or annotate with `// analyzer:allow(observer_seam)` \
+                         and justify)"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Marks which lines sit inside a `#[cfg(feature = …)]` item, with the
+/// same brace-walking approach (and limitations) as the `#[cfg(test)]`
+/// marker in [`crate::source`].
+fn mark_cfg_feature(code_lines: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the innermost #[cfg(feature…)] item opened, if any.
+    let mut open_depth: Option<i64> = None;
+    let mut pending_attr = false;
+    for (i, raw) in code_lines.iter().enumerate() {
+        if open_depth.is_some() {
+            out[i] = true;
+        }
+        if open_depth.is_none() && raw.contains("#[cfg(") && raw.contains("feature") {
+            pending_attr = true;
+            out[i] = true;
+        }
+        for c in raw.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && open_depth.is_none() {
+                        open_depth = Some(depth);
+                        pending_attr = false;
+                        out[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open_depth == Some(depth) {
+                        open_depth = None;
+                        out[i] = true;
+                    }
+                }
+                // `#[cfg(feature = …)] use …;` or a bodyless statement.
+                ';' if pending_attr && open_depth.is_none() => {
+                    pending_attr = false;
+                    out[i] = true;
+                }
+                _ => {}
+            }
+        }
+        if open_depth.is_some() || pending_attr {
+            out[i] = true;
+        }
+    }
+    out
+}
+
 /// Extensions that mark editor/tooling droppings.
 const STRAY_SUFFIXES: &[&str] = &[".tmp", ".bak", ".orig", ".rej", "~"];
 
@@ -304,6 +395,59 @@ mod tests { fn t() { v.unwrap(); } }
         // `todo!()` and `unimplemented!()` with no args still match the
         // `…!(` token form.
         assert_eq!(file_panic_sites(&f).len(), 3);
+    }
+
+    #[test]
+    fn cfg_feature_regions_are_marked() {
+        let text = "\
+fn a(hub: &mut H) { hub.emit(now, &e); }
+#[cfg(feature = \"invariants\")]
+fn gated(hub: &mut H) {
+    hub.emit_with(now, || e);
+}
+#[cfg(feature = \"invariants\")]
+use helper::check;
+fn b(hub: &mut H) { hub.emit(now, &e); }
+";
+        let f = file("crates/engine/src/x.rs", text);
+        let code: Vec<&str> = f.lines.iter().map(|l| l.code.as_str()).collect();
+        let marked = mark_cfg_feature(&code);
+        assert!(!marked[0], "plain code before the attribute");
+        assert!(marked[1] && marked[2] && marked[3] && marked[4], "gated fn");
+        assert!(marked[5] && marked[6], "bodyless gated item");
+        assert!(!marked[7], "code after the gated items");
+    }
+
+    #[test]
+    fn emit_inside_cfg_feature_is_flagged_and_escapable() {
+        let gated = file(
+            "crates/engine/src/x.rs",
+            "#[cfg(feature = \"invariants\")]\n\
+             fn gated(hub: &mut H) {\n    hub.emit(now, &e);\n}\n",
+        );
+        let clean = file(
+            "crates/engine/src/y.rs",
+            "fn open(hub: &mut H) { hub.emit(now, &e); }\n\
+             #[cfg(feature = \"invariants\")]\n\
+             fn gated(hub: &mut H) {\n\
+             \x20   // analyzer:allow(observer_seam) — justified\n\
+             \x20   hub.emit(now, &e);\n}\n",
+        );
+        let model = WorkspaceModel {
+            root: std::path::PathBuf::new(),
+            crates: vec![CrateModel {
+                name: "engine".to_owned(),
+                src_files: vec![gated, clean],
+                src_rs_paths: Vec::new(),
+            }],
+            all_files: Vec::new(),
+        };
+        let mut violations = Vec::new();
+        observer_seam(&model, &mut violations);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].lint, Lint::ObserverSeam);
+        assert_eq!(violations[0].path, "crates/engine/src/x.rs");
+        assert_eq!(violations[0].line, 3);
     }
 
     #[test]

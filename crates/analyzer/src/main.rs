@@ -17,7 +17,8 @@ OPTIONS:
     --verbose            list every counted panic site per audited crate
     --help               show this help
 
-Lints: panic-site baseline (burn-down), lock_order, raw_time, stray_file.
+Lints: panic-site baseline (burn-down), lock_order, raw_time,
+observer_seam, stray_file.
 Escape hatch: `// analyzer:allow(<lint>)` on the offending line or the
 line directly above it.";
 

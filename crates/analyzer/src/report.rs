@@ -11,6 +11,8 @@ pub enum Lint {
     LockOrder,
     /// Floating-point simulated-time construction outside `des/src/time.rs`.
     RawTime,
+    /// Observer-hook emission hidden inside a `#[cfg(feature = …)]` block.
+    ObserverSeam,
     /// Stray file or orphan module.
     StrayFile,
 }
@@ -22,6 +24,7 @@ impl Lint {
             Lint::PanicBaseline => "panic",
             Lint::LockOrder => "lock_order",
             Lint::RawTime => "raw_time",
+            Lint::ObserverSeam => "observer_seam",
             Lint::StrayFile => "stray_file",
         }
     }

@@ -515,12 +515,10 @@ fn mark_cfg_test(code_lines: &[&str]) -> Vec<bool> {
                         out[i] = true;
                     }
                 }
-                ';' => {
-                    // `#[cfg(test)] use …;` or `mod t;` without a body.
-                    if pending_attr && test_open_depth.is_none() {
-                        pending_attr = false;
-                        out[i] = true;
-                    }
+                // `#[cfg(test)] use …;` or `mod t;` without a body.
+                ';' if pending_attr && test_open_depth.is_none() => {
+                    pending_attr = false;
+                    out[i] = true;
                 }
                 _ => {}
             }

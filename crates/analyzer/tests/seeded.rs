@@ -178,6 +178,38 @@ fn seeded_raw_time_arithmetic_trips() {
 }
 
 #[test]
+fn seeded_feature_gated_emit_trips_observer_seam() {
+    let t = clean_tree("seam");
+    t.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\n\
+         #[cfg(feature = \"invariants\")]\n\
+         pub fn gated(hub: &mut H, now: T, e: &E) {\n\
+         \x20   hub.emit(now, e);\n}\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::ObserverSeam), "fired: {fired:?}");
+
+    // The same emission outside the cfg block is the intended shape, and
+    // feature-gating the *registration* is explicitly fine.
+    let t2 = clean_tree("seam-ok");
+    t2.write(
+        "crates/engine/src/lib.rs",
+        "//! Doc.\n\
+         pub fn open(hub: &mut H, now: T, e: &E) { hub.emit(now, e); }\n\
+         pub fn build(hub: &mut H) {\n\
+         \x20   #[cfg(feature = \"invariants\")]\n\
+         \x20   hub.register(Box::new(Checker::default()));\n}\n",
+    );
+    let analysis = odb_analyzer::analyze(&t2.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
 fn seeded_stray_file_trips() {
     let t = clean_tree("stray");
     t.write("crates/engine/Cargo.toml.tmp", "[package]\n");

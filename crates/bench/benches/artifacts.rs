@@ -3,130 +3,93 @@
 //! the artifact once so `cargo bench` doubles as a results run.
 //!
 //! The sweep itself is computed once at startup; see the `pipeline`
-//! bench group for the cost of producing one measured point.
+//! bench for the cost of producing one measured point.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use odb_bench::harness::{bench, black_box};
 use odb_bench::bench_sweep;
 use odb_experiments::figures;
 use odb_experiments::runner::Sweep;
-use std::sync::OnceLock;
 
-fn sweep() -> &'static Sweep {
-    static SWEEP: OnceLock<Sweep> = OnceLock::new();
-    SWEEP.get_or_init(|| {
-        eprintln!("building the benchmark sweep (18 configurations)...");
-        bench_sweep()
-    })
+/// Prints the artifact once, then times its regeneration.
+fn artifact(sweep: &Sweep, name: &str, generate: impl Fn(&Sweep) -> String) {
+    let rendered = generate(sweep);
+    println!("\n== {name} ==\n{rendered}");
+    bench(&format!("artifacts/{name}"), || {
+        black_box(generate(black_box(sweep)))
+    });
 }
 
-macro_rules! artifact_bench {
-    ($fn_name:ident, $bench_name:literal, $generate:expr) => {
-        fn $fn_name(c: &mut Criterion) {
-            let sweep = sweep();
-            // Print the artifact once so bench output doubles as results.
-            #[allow(clippy::redundant_closure_call)]
-            let rendered = ($generate)(sweep);
-            println!("\n== {} ==\n{rendered}", $bench_name);
-            let mut group = c.benchmark_group("artifacts");
-            group.sample_size(20);
-            group.bench_function($bench_name, |b| {
-                b.iter(|| black_box(($generate)(black_box(sweep))))
-            });
-            group.finish();
-        }
-    };
+fn main() {
+    eprintln!("building the benchmark sweep (18 configurations)...");
+    let sweep = bench_sweep();
+    let s = &sweep;
+
+    artifact(s, "table1_clients", |s| figures::table1(s).render());
+    artifact(s, "fig2_tps", |s| figures::fig2(s).render());
+    artifact(s, "fig3_util_split", |s| figures::fig3(s).render());
+    artifact(s, "fig4_ipx", |s| figures::fig4(s).render());
+    artifact(s, "fig5_ipx_user", |s| figures::fig5(s).render());
+    artifact(s, "fig6_ipx_os", |s| figures::fig6(s).render());
+    artifact(s, "fig7_disk_io", |s| figures::fig7(s, 4).render());
+    artifact(s, "fig8_context_switches", |s| figures::fig8(s).render());
+    artifact(s, "fig9_cpi", |s| figures::fig9(s).render());
+    artifact(s, "fig10_cpi_user", |s| figures::fig10(s).render());
+    artifact(s, "fig11_cpi_os", |s| figures::fig11(s).render());
+    artifact(s, "table2_events", |_| figures::table2().render());
+    artifact(s, "table3_costs", |_| figures::table3().render());
+    artifact(s, "table4_formulas", |_| figures::table4().render());
+    artifact(s, "fig12_cpi_breakdown", |s| figures::fig12(s, 4).render());
+    artifact(s, "fig13_mpi", |s| figures::fig13(s).render());
+    artifact(s, "fig14_mpi_user", |s| figures::fig14(s).render());
+    artifact(s, "fig15_mpi_os", |s| figures::fig15(s).render());
+    artifact(s, "fig16_bus_ioq", |s| figures::fig16(s).render());
+    artifact(s, "fig17_cpi_fit", |s| {
+        figures::fig17(s, 4).expect("fit").table.render()
+    });
+    artifact(s, "fig18_mpi_fit", |s| {
+        figures::fig18(s, 4).expect("fit").table.render()
+    });
+    artifact(s, "table5_pivots", |s| figures::table5(s).expect("fits").render());
+    artifact(s, "sec6_2_extrapolation", |s| {
+        figures::extrapolation_check(s, 4, 200)
+            .expect("extrapolation")
+            .render()
+    });
+
+    // Fig 19 needs its own (Itanium2) sweep; bench the fit stage against
+    // a pre-run sweep like the others.
+    itanium_fit();
 }
 
-artifact_bench!(table1, "table1_clients", |s: &Sweep| figures::table1(s)
-    .render());
-artifact_bench!(fig2, "fig2_tps", |s: &Sweep| figures::fig2(s).render());
-artifact_bench!(fig3, "fig3_util_split", |s: &Sweep| figures::fig3(s)
-    .render());
-artifact_bench!(fig4, "fig4_ipx", |s: &Sweep| figures::fig4(s).render());
-artifact_bench!(fig5, "fig5_ipx_user", |s: &Sweep| figures::fig5(s)
-    .render());
-artifact_bench!(fig6, "fig6_ipx_os", |s: &Sweep| figures::fig6(s).render());
-artifact_bench!(fig7, "fig7_disk_io", |s: &Sweep| figures::fig7(s, 4)
-    .render());
-artifact_bench!(fig8, "fig8_context_switches", |s: &Sweep| figures::fig8(s)
-    .render());
-artifact_bench!(fig9, "fig9_cpi", |s: &Sweep| figures::fig9(s).render());
-artifact_bench!(fig10, "fig10_cpi_user", |s: &Sweep| figures::fig10(s)
-    .render());
-artifact_bench!(fig11, "fig11_cpi_os", |s: &Sweep| figures::fig11(s)
-    .render());
-artifact_bench!(table2, "table2_events", |_s: &Sweep| figures::table2()
-    .render());
-artifact_bench!(table3, "table3_costs", |_s: &Sweep| figures::table3()
-    .render());
-artifact_bench!(table4, "table4_formulas", |_s: &Sweep| figures::table4()
-    .render());
-artifact_bench!(fig12, "fig12_cpi_breakdown", |s: &Sweep| figures::fig12(
-    s, 4
-)
-.render());
-artifact_bench!(fig13, "fig13_mpi", |s: &Sweep| figures::fig13(s).render());
-artifact_bench!(fig14, "fig14_mpi_user", |s: &Sweep| figures::fig14(s)
-    .render());
-artifact_bench!(fig15, "fig15_mpi_os", |s: &Sweep| figures::fig15(s)
-    .render());
-artifact_bench!(fig16, "fig16_bus_ioq", |s: &Sweep| figures::fig16(s)
-    .render());
-artifact_bench!(fig17, "fig17_cpi_fit", |s: &Sweep| {
-    figures::fig17(s, 4).expect("fit").table.render()
-});
-artifact_bench!(fig18, "fig18_mpi_fit", |s: &Sweep| {
-    figures::fig18(s, 4).expect("fit").table.render()
-});
-artifact_bench!(table5, "table5_pivots", |s: &Sweep| {
-    figures::table5(s).expect("fits").render()
-});
-artifact_bench!(extrapolate, "sec6_2_extrapolation", |s: &Sweep| {
-    figures::extrapolation_check(s, 4, 200)
-        .expect("extrapolation")
-        .render()
-});
-
-/// Fig 19 needs its own (Itanium2) sweep; bench the fit stage against a
-/// pre-run sweep like the others.
-fn fig19(c: &mut Criterion) {
+fn itanium_fit() {
     use odb_core::config::SystemConfig;
     use odb_experiments::ladder::ConfigPoint;
     use odb_experiments::runner::SweepOptions;
-    static ITANIUM: OnceLock<Sweep> = OnceLock::new();
-    let sweep = ITANIUM.get_or_init(|| {
-        eprintln!("building the Itanium2 benchmark sweep (6 configurations)...");
-        let points: Vec<ConfigPoint> = odb_bench::BENCH_WAREHOUSES
-            .iter()
-            .map(|&w| ConfigPoint {
-                warehouses: w,
-                processors: 4,
-            })
-            .collect();
-        let sweep = Sweep::run_points(
-            &SystemConfig::itanium2_quad(),
-            &SweepOptions::quick(),
-            &points,
-        );
-        sweep.ensure_complete().expect("itanium sweep");
-        sweep
-    });
-    let report = figures::fig17(sweep, 4).expect("fit");
+    eprintln!("building the Itanium2 benchmark sweep (6 configurations)...");
+    let points: Vec<ConfigPoint> = odb_bench::BENCH_WAREHOUSES
+        .iter()
+        .map(|&w| ConfigPoint {
+            warehouses: w,
+            processors: 4,
+        })
+        .collect();
+    let sweep = Sweep::run_points(
+        &SystemConfig::itanium2_quad(),
+        &SweepOptions::quick(),
+        &points,
+    );
+    sweep.ensure_complete().expect("itanium sweep");
+    let report = figures::fig17(&sweep, 4).expect("fit");
     println!("\n== fig19_itanium_cpi ==\n{}", report.table.render());
     if let Some((x, y)) = report.pivot {
         println!("Itanium2 CPI pivot: {x:.0} warehouses (CPI {y:.2})");
     }
-    let mut group = c.benchmark_group("artifacts");
-    group.sample_size(20);
-    group.bench_function("fig19_itanium_cpi_fit", |b| {
-        b.iter(|| black_box(figures::fig17(black_box(sweep), 4).expect("fit").table.render()))
+    bench("artifacts/fig19_itanium_cpi_fit", || {
+        black_box(
+            figures::fig17(black_box(&sweep), 4)
+                .expect("fit")
+                .table
+                .render(),
+        )
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches, table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2,
-    table3, table4, fig12, fig13, fig14, fig15, fig16, fig17, fig18, table5, extrapolate,
-    fig19
-);
-criterion_main!(benches);

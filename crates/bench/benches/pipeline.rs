@@ -1,7 +1,7 @@
 //! Measurement-machinery benchmarks: what one experimental data point
 //! costs, stage by stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use odb_bench::harness::bench;
 use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
 use odb_des::SimTime;
 use odb_engine::profile::{trace_params, OdbRefSource, WorkloadEstimates};
@@ -13,39 +13,29 @@ use odb_memsim::Characterizer;
 
 fn config(w: u32, c: u32, p: u32) -> OltpConfig {
     OltpConfig::new(
-        WorkloadConfig::new(w, c).unwrap(),
+        WorkloadConfig::new(w, c).expect("workload"),
         SystemConfig::xeon_quad().with_processors(p),
     )
-    .unwrap()
+    .expect("config")
 }
 
-fn bench_characterization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
+fn main() {
     let cfg = config(100, 48, 4);
     let params = trace_params(&cfg, &WorkloadEstimates::initial());
-    let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
-    let sampler = TxnSampler::new(PageMap::new(100)).unwrap();
-    group.bench_function("characterize_400k_instr_4p", |b| {
-        b.iter(|| {
-            characterizer.run(
+    let characterizer = Characterizer::new(cfg.system.clone(), params).expect("characterizer");
+    let sampler = TxnSampler::new(PageMap::new(100)).expect("sampler");
+
+    bench("pipeline/characterize_400k_instr_4p", || {
+        characterizer
+            .run(
                 |_| OdbRefSource::with_sampler(sampler.clone(), 4),
                 42,
                 200_000,
                 200_000,
             )
-        })
+            .expect("characterization")
     });
-    group.finish();
-}
 
-fn bench_system_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    let cfg = config(100, 48, 4);
-    let params = trace_params(&cfg, &WorkloadEstimates::initial());
-    let characterizer = Characterizer::new(cfg.system.clone(), params).unwrap();
-    let sampler = TxnSampler::new(PageMap::new(100)).unwrap();
     let rates = characterizer
         .run(
             |_| OdbRefSource::with_sampler(sampler.clone(), 4),
@@ -53,27 +43,19 @@ fn bench_system_sim(c: &mut Criterion) {
             400_000,
             300_000,
         )
-        .unwrap()
+        .expect("characterization")
         .rates;
-    group.bench_function("system_sim_1s_100w_4p", |b| {
-        b.iter(|| {
-            let mut sim =
-                SystemSim::new(cfg.clone(), SystemParams::default(), rates, 42).unwrap();
-            sim.run_for(SimTime::from_secs(1)).unwrap();
-            sim.committed()
-        })
+    bench("pipeline/system_sim_1s_100w_4p", || {
+        let mut sim =
+            SystemSim::new(cfg.clone(), SystemParams::default(), rates, 42).expect("sim");
+        sim.run_for(SimTime::from_secs(1)).expect("run");
+        sim.committed()
     });
-    group.bench_function("full_point_quick_100w_4p", |b| {
-        b.iter(|| {
-            OdbSimulator::new(cfg.clone(), SimOptions::quick())
-                .unwrap()
-                .run()
-                .unwrap()
-                .tps()
-        })
+    bench("pipeline/full_point_quick_100w_4p", || {
+        OdbSimulator::new(cfg.clone(), SimOptions::quick())
+            .expect("simulator")
+            .run()
+            .expect("run")
+            .tps()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_characterization, bench_system_sim);
-criterion_main!(benches);

@@ -3,10 +3,20 @@
 //! The artifact benches regenerate every paper table and figure; the
 //! expensive part — the measurement sweep — runs once here and the
 //! per-artifact benches time the projection/fitting/rendering stage,
-//! while `pipeline` benches time the measurement machinery itself.
+//! while `pipeline` benches time the measurement machinery itself. All
+//! of them run on the in-house [`harness`] (no criterion in this
+//! offline workspace).
+//!
+//! The sweep bench (`benches/sweep.rs`) is the number CI gates on — and
+//! since the observer seam landed in the engine it doubles as the
+//! zero-cost check for that seam: the gated sweep runs with no external
+//! observers registered, so any overhead the hooks add to the hot path
+//! shows up directly in its wall clock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use odb_core::config::SystemConfig;
 use odb_engine::SimOptions;

@@ -10,6 +10,12 @@
 //! * **Cancellation** — scheduled events can be revoked (e.g. a timeout
 //!   raced by an I/O completion) without disturbing ordering.
 //!
+//! The kernel also hosts the [`observe`] seam: the [`SimObserver`] trait
+//! and [`ObserverHub`] registry through which every layer of the stack
+//! announces typed hook events ([`SimEvent`]) to cross-cutting consumers
+//! (statistics, invariant checks, latency histograms, trace sinks)
+//! without threading their state through the simulation.
+//!
 //! # Example
 //!
 //! ```
@@ -31,10 +37,12 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod observe;
 pub mod queue;
 pub mod time;
 
+pub use observe::{IoKind, ObserverHub, SimEvent, SimObserver};
 pub use queue::{EventHandle, EventQueue};
 pub use time::SimTime;

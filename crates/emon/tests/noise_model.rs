@@ -1,0 +1,132 @@
+//! Integration tests for the EMON noise model against §5.1 of the paper:
+//! multiplexed (round-robin, repeated-window) sampling error stays within
+//! the model's stated bound, small counts suffer proportionally more —
+//! the paper's explanation for the noisy OS-space CPI at 10 warehouses —
+//! and the whole instrument is deterministic per seed.
+
+use odb_core::metrics::SpaceCounts;
+use odb_emon::{Emon, MeasurementPlan, NoiseModel};
+
+/// Counts shaped like a measurement-grade run: user space large, OS space
+/// one to two orders of magnitude smaller (the §5.1 regime).
+fn user_truth() -> SpaceCounts {
+    SpaceCounts {
+        instructions: 12_000_000_000,
+        cycles: 30_000_000_000,
+        l3_misses: 90_000_000,
+        l2_misses: 400_000_000,
+        tc_misses: 60_000_000,
+        tlb_misses: 25_000_000,
+        branch_mispredictions: 50_000_000,
+    }
+}
+
+fn os_truth() -> SpaceCounts {
+    SpaceCounts {
+        instructions: 400_000_000,
+        cycles: 1_500_000_000,
+        l3_misses: 6_000_000,
+        l2_misses: 20_000_000,
+        tc_misses: 3_000_000,
+        tlb_misses: 1_500_000,
+        branch_mispredictions: 2_500_000,
+    }
+}
+
+/// The model's per-count standard deviation (documented on
+/// [`Emon::sample`]): Poisson + amortized phase + absolute attribution,
+/// summed in quadrature.
+fn sigma(count: u64, plan: &MeasurementPlan, noise: &NoiseModel) -> f64 {
+    let c = count as f64;
+    (c + (c * noise.phase_sigma / f64::from(plan.repeats).sqrt()).powi(2)
+        + noise.attribution_sigma.powi(2))
+    .sqrt()
+}
+
+fn fields(c: &SpaceCounts) -> [u64; 7] {
+    [
+        c.instructions,
+        c.cycles,
+        c.l3_misses,
+        c.l2_misses,
+        c.tc_misses,
+        c.tlb_misses,
+        c.branch_mispredictions,
+    ]
+}
+
+/// Every sampled field, across many seeds and both count regimes, lands
+/// within 6σ of its truth under the documented noise model. 32 seeds ×
+/// 2 spaces × 7 events = 448 independent draws; a single 6σ outlier has
+/// probability ~1e-9 × 448, so any failure means the model drifted.
+#[test]
+fn multiplexed_sampling_error_within_model_bound() {
+    let plan = MeasurementPlan::paper();
+    let noise = NoiseModel::default();
+    for seed in 0..32u64 {
+        let mut emon = Emon::new(plan, noise, seed);
+        for truth in [user_truth(), os_truth()] {
+            let observed = emon.sample_counts(&truth);
+            for (obs, tru) in fields(&observed).into_iter().zip(fields(&truth)) {
+                let bound = 6.0 * sigma(tru, &plan, &noise);
+                let err = (obs as f64 - tru as f64).abs();
+                assert!(
+                    err <= bound,
+                    "seed {seed}: observed {obs} vs truth {tru}; error {err:.0} \
+                     exceeds the 6-sigma bound {bound:.0}"
+                );
+            }
+        }
+    }
+}
+
+/// The §5.1 mechanism: the fixed attribution quantum makes the *relative*
+/// error of the small OS-space counts much larger than that of the
+/// user-space counts measured in the same schedule.
+#[test]
+fn small_os_counts_are_relatively_noisier() {
+    let plan = MeasurementPlan::paper();
+    let noise = NoiseModel::default();
+    let rel = |truth: &SpaceCounts, base_seed: u64| -> f64 {
+        let mut total = 0.0;
+        let runs = 64u64;
+        for seed in 0..runs {
+            let mut emon = Emon::new(plan, noise, base_seed + seed);
+            let observed = emon.sample_counts(truth);
+            for (obs, tru) in fields(&observed).into_iter().zip(fields(truth)) {
+                total += (obs as f64 - tru as f64).abs() / tru as f64;
+            }
+        }
+        total / (runs as f64 * 7.0)
+    };
+    let user = rel(&user_truth(), 100);
+    let os = rel(&os_truth(), 100);
+    assert!(
+        os > 3.0 * user,
+        "mean relative error: OS {os:.5} should dwarf user {user:.5}"
+    );
+}
+
+/// Same seed, same plan, same truths → bit-identical observations, run
+/// after run; a different seed must diverge. This is what lets the
+/// engine's sampled measurements participate in the artifact drift gate.
+#[test]
+fn per_seed_determinism() {
+    let plan = MeasurementPlan::scaled(100);
+    let noise = NoiseModel::default();
+    for seed in [0u64, 1, 42, 0xE0_40_5E_ED] {
+        let mut a = Emon::new(plan, noise, seed);
+        let mut b = Emon::new(plan, noise, seed);
+        for truth in [user_truth(), os_truth(), user_truth()] {
+            assert_eq!(
+                a.sample_counts(&truth),
+                b.sample_counts(&truth),
+                "seed {seed} must replay identically"
+            );
+        }
+    }
+    let mut a = Emon::new(plan, noise, 1);
+    let mut b = Emon::new(plan, noise, 2);
+    let diverged = (0..8).any(|_| a.sample_counts(&user_truth()) != b.sample_counts(&user_truth()));
+    assert!(diverged, "different seeds must produce different streams");
+}

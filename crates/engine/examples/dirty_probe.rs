@@ -1,3 +1,7 @@
+// A demo driver, not shipped simulation code: panicking on a bad point
+// is the right behaviour here.
+#![allow(clippy::unwrap_used)]
+
 use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
 use odb_engine::buffer::BufferCache;
 use odb_engine::schema::PageMap;

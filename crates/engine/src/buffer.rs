@@ -372,7 +372,7 @@ impl BufferCache {
         debug_assert!(self.dirty <= self.map.len(), "dirty exceeds resident");
         debug_assert_eq!(self.head == NIL, self.map.is_empty());
         debug_assert_eq!(self.tail == NIL, self.map.is_empty());
-        if !(self.map.len() <= 4_096 || self.clock % 4_096 == 0) {
+        if !(self.map.len() <= 4_096 || self.clock.is_multiple_of(4_096)) {
             return;
         }
         let mut seen = 0usize;

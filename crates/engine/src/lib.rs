@@ -54,6 +54,7 @@
 pub mod buffer;
 pub mod locks;
 pub mod measure;
+pub mod observe;
 pub mod profile;
 pub mod schema;
 pub mod system;
@@ -61,3 +62,4 @@ pub mod txn;
 pub mod writers;
 
 pub use measure::{OdbSimulator, SimOptions};
+pub use observe::{LatencyObserver, LatencyStats, LogHistogram};

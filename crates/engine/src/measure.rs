@@ -15,14 +15,15 @@
 //! 4. **Sample**: optionally pass the true counts through the EMON noise
 //!    model, reproducing the measurement error the paper discusses.
 
+use crate::observe::EmonObserver;
 use crate::profile::{trace_params, OdbRefSource, WorkloadEstimates};
 use crate::schema::PageMap;
 use crate::system::{SystemParams, SystemSim};
 use crate::txn::TxnSampler;
 use odb_core::config::OltpConfig;
-use odb_core::metrics::Measurement;
-use odb_des::SimTime;
-use odb_emon::{Emon, MeasurementPlan, NoiseModel};
+use odb_core::metrics::{Measurement, SpaceCounts};
+use odb_des::{SimObserver, SimTime};
+use odb_emon::{MeasurementPlan, NoiseModel};
 use odb_memsim::trace::Characterization;
 use odb_memsim::Characterizer;
 
@@ -195,12 +196,34 @@ impl OdbSimulator {
     ///
     /// Propagates substrate construction failures.
     pub fn run_detailed(&self) -> Result<RunArtifacts, odb_core::Error> {
+        self.run_observed(Vec::new())
+    }
+
+    /// Runs the pipeline with extra [`SimObserver`]s registered on the
+    /// measured (final fixed-point) round's simulation.
+    ///
+    /// Earlier rounds exist only to converge the characterization
+    /// feedback terms, so observers see exactly the round the returned
+    /// measurement describes. Observers are observation-only; registering
+    /// them does not change the measurement (asserted by this module's
+    /// determinism test). To read results back, keep a handle — e.g.
+    /// [`crate::observe::LatencyObserver::stats`] — before boxing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate construction failures.
+    pub fn run_observed(
+        &self,
+        observers: Vec<Box<dyn SimObserver>>,
+    ) -> Result<RunArtifacts, odb_core::Error> {
         let o = &self.options;
         let w = self.config.workload.warehouses;
         let mut estimates = WorkloadEstimates::initial();
         let template_sampler =
             TxnSampler::with_mix(PageMap::new(w), self.options.system.txn_mix)?;
         let mut last: Option<(Measurement, Characterization)> = None;
+        let mut extra = Some(observers);
+        let mut sampled: Option<(SpaceCounts, SpaceCounts)> = None;
 
         for round in 0..o.iterations {
             let params = trace_params(&self.config, &estimates);
@@ -218,10 +241,37 @@ impl OdbSimulator {
                 characterization.rates,
                 o.seed.wrapping_add(round as u64),
             )?;
+            let final_round = round + 1 == o.iterations;
+            if final_round {
+                if let Some(observers) = extra.take() {
+                    for observer in observers {
+                        sim.register_observer(observer);
+                    }
+                }
+                if o.emon_noise {
+                    sim.register_observer(Box::new(EmonObserver::new(
+                        MeasurementPlan::scaled(100),
+                        NoiseModel::default(),
+                        o.seed ^ 0xE0_40_5E_ED,
+                    )));
+                }
+            }
             sim.run_for(o.warmup)?;
             sim.reset_stats();
             sim.run_for(o.measure)?;
             let measurement = sim.collect();
+            if final_round {
+                // Sample the true counts through the registered EMON
+                // instrument while the simulation is still in hand; the
+                // instrument's RNG was untouched during the run, so the
+                // draw matches the pre-seam pipeline bit for bit.
+                if let Some(emon) = sim.observer_mut::<EmonObserver>() {
+                    sampled = Some((
+                        emon.sample_counts(&measurement.user),
+                        emon.sample_counts(&measurement.os),
+                    ));
+                }
+            }
             estimates = WorkloadEstimates::from_measurement(&measurement);
             last = Some((measurement, characterization));
         }
@@ -259,15 +309,10 @@ impl OdbSimulator {
             }
         }
 
-        let measurement = if o.emon_noise {
-            let mut emon = Emon::new(
-                MeasurementPlan::scaled(100),
-                NoiseModel::default(),
-                o.seed ^ 0xE0_40_5E_ED,
-            );
+        let measurement = if let Some((user, os)) = sampled {
             let mut noisy = true_measurement.clone();
-            noisy.user = emon.sample_counts(&true_measurement.user);
-            noisy.os = emon.sample_counts(&true_measurement.os);
+            noisy.user = user;
+            noisy.os = os;
             noisy
         } else {
             true_measurement.clone()
@@ -355,6 +400,27 @@ mod tests {
             base.clone().with_seed(7).for_point(100, 4).seed,
             base.for_point(100, 4).seed
         );
+    }
+
+    #[test]
+    fn observers_do_not_change_simulation_bits() {
+        // The seam's core contract: a run with a latency observer
+        // registered produces the bit-identical measurement of a bare run,
+        // while the observer sees every commit.
+        let sim = OdbSimulator::new(config(25, 12, 2), SimOptions::quick()).unwrap();
+        let bare = sim.run_detailed().unwrap();
+        let latency = crate::observe::LatencyObserver::new();
+        let stats = latency.stats();
+        let observed = sim.run_observed(vec![Box::new(latency)]).unwrap();
+        assert_eq!(bare.measurement, observed.measurement);
+        assert_eq!(bare.true_measurement, observed.true_measurement);
+        let stats = stats.lock().unwrap();
+        assert_eq!(
+            stats.all().total(),
+            observed.measurement.transactions,
+            "one latency sample per committed transaction"
+        );
+        assert!(stats.all().quantile_ns(1, 2) > 0, "median latency nonzero");
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! Engine-side observers for the `odb-des` observer seam.
+//!
+//! The seam itself (trait, events, hub) lives in `odb_des::observe`; this
+//! module holds the consumers the engine registers on it:
+//!
+//! * [`StatsObserver`] — the measurement accumulators that used to be
+//!   inline fields of `SystemSim` (commit count, instruction totals, bus
+//!   window sums). Always registered; [`SystemSim::collect`] reads it.
+//! * [`InvariantObserver`] — seam-level lifecycle checks (transaction
+//!   start/commit pairing, flush begin/end pairing). Registered only when
+//!   the `invariants` feature is on; consulted by
+//!   [`SystemSim::verify_invariants`].
+//! * [`EmonObserver`] — carries the EMON instrument through a run so
+//!   counter sampling is a registration, not a special case in the
+//!   measurement pipeline. Its RNG is consumed only when the owner asks
+//!   for samples after the window closes, never during the run.
+//! * [`LatencyObserver`] / [`LogHistogram`] — per-transaction-type
+//!   commit-latency histograms over integer nanoseconds; the first output
+//!   the seam enables that the inline counters never could.
+//!
+//! None of these touch simulation state: registering any subset of them
+//! leaves the simulation bit-identical (asserted by the engine's
+//! determinism tests).
+//!
+//! [`SystemSim::collect`]: crate::system::SystemSim::collect
+//! [`SystemSim::verify_invariants`]: crate::system::SystemSim::verify_invariants
+
+use odb_core::metrics::SpaceCounts;
+use odb_des::{SimEvent, SimObserver, SimTime};
+use odb_emon::{Emon, MeasurementPlan, NoiseModel};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The measurement accumulators, fed entirely by seam events.
+///
+/// Accumulation order and arithmetic are identical to the inline fields
+/// this replaces (each hook fires exactly where the inline update sat),
+/// so measurements are bit-for-bit unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct StatsObserver {
+    committed: u64,
+    user_instructions: f64,
+    os_instructions: f64,
+    bus_util_sum: f64,
+    ioq_sum: f64,
+    bus_windows: u64,
+}
+
+impl StatsObserver {
+    /// Transactions committed since the last reset.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// User-space instructions charged since the last reset.
+    pub fn user_instructions(&self) -> f64 {
+        self.user_instructions
+    }
+
+    /// Kernel-space instructions charged since the last reset.
+    pub fn os_instructions(&self) -> f64 {
+        self.os_instructions
+    }
+
+    /// Sum of per-window bus utilizations since the last reset.
+    pub fn bus_util_sum(&self) -> f64 {
+        self.bus_util_sum
+    }
+
+    /// Sum of per-window IOQ latencies (cycles) since the last reset.
+    pub fn ioq_sum(&self) -> f64 {
+        self.ioq_sum
+    }
+
+    /// Bus feedback windows observed since the last reset.
+    pub fn bus_windows(&self) -> u64 {
+        self.bus_windows
+    }
+}
+
+impl SimObserver for StatsObserver {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+        match *event {
+            SimEvent::Charged { os, instructions } => {
+                if os {
+                    self.os_instructions += instructions as f64;
+                } else {
+                    self.user_instructions += instructions as f64;
+                }
+            }
+            SimEvent::TxnCommitted { .. } => self.committed += 1,
+            SimEvent::BusObserved {
+                utilization,
+                ioq_latency_cycles,
+            } => {
+                self.bus_util_sum += utilization;
+                self.ioq_sum += ioq_latency_cycles;
+                self.bus_windows += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_reset(&mut self, _now: SimTime) {
+        *self = Self::default();
+    }
+}
+
+/// Seam-level lifecycle invariants.
+///
+/// Component-internal checks (lock canonical order, buffer accounting,
+/// event-queue monotonicity) stay inside their components; this observer
+/// checks the properties only visible across components: every commit
+/// pairs with a start on the same process and transaction type, and log
+/// flushes never overlap.
+///
+/// The first violation is latched and surfaced by
+/// [`InvariantObserver::verify`]; the observer deliberately keeps its
+/// in-flight state across window resets, since transactions started
+/// before the measurement window legitimately commit inside it.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantObserver {
+    /// Transaction-type index in flight per raw process id.
+    in_flight: HashMap<u32, usize>,
+    flush_in_flight: bool,
+    violation: Option<String>,
+}
+
+impl InvariantObserver {
+    fn latch(&mut self, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(message);
+        }
+    }
+
+    /// Reports the first latched violation, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`odb_core::Error::CorruptState`] describing the first
+    /// lifecycle violation observed on the seam.
+    pub fn verify(&self) -> Result<(), odb_core::Error> {
+        match &self.violation {
+            Some(message) => Err(odb_core::Error::corrupt("engine::observe", message.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl SimObserver for InvariantObserver {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent) {
+        match *event {
+            SimEvent::TxnStarted { pid, kind } => {
+                if let Some(prev) = self.in_flight.insert(pid, kind) {
+                    self.latch(format!(
+                        "process {pid} started transaction kind {kind} at {now} \
+                         while kind {prev} was still in flight"
+                    ));
+                }
+            }
+            SimEvent::TxnCommitted { pid, kind, .. } => match self.in_flight.remove(&pid) {
+                Some(started) if started == kind => {}
+                Some(started) => self.latch(format!(
+                    "process {pid} committed transaction kind {kind} at {now} \
+                     but had started kind {started}"
+                )),
+                None => self.latch(format!(
+                    "process {pid} committed transaction kind {kind} at {now} \
+                     with no start on record"
+                )),
+            },
+            SimEvent::FlushBegin { .. } => {
+                if self.flush_in_flight {
+                    self.latch(format!("overlapping log flushes at {now}"));
+                }
+                self.flush_in_flight = true;
+            }
+            SimEvent::FlushEnd { .. } => {
+                if !self.flush_in_flight {
+                    self.latch(format!("log flush completed at {now} with none in flight"));
+                }
+                self.flush_in_flight = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The EMON instrument as a registered observer.
+///
+/// The paper's measurement procedure samples hardware counters through a
+/// multiplexed EMON schedule *after* a run; accordingly this observer is
+/// inert during the simulation (its `on_event` is a no-op and its RNG is
+/// untouched, so registration cannot perturb simulation bits) and the
+/// pipeline retrieves it afterwards to pass the true counts through
+/// [`EmonObserver::sample_counts`].
+#[derive(Debug)]
+pub struct EmonObserver {
+    emon: Emon,
+}
+
+impl EmonObserver {
+    /// Wraps an EMON instrument with the given schedule, noise model and
+    /// sampling seed.
+    pub fn new(plan: MeasurementPlan, noise: NoiseModel, seed: u64) -> Self {
+        Self {
+            emon: Emon::new(plan, noise, seed),
+        }
+    }
+
+    /// Samples a set of true counts through the multiplexed schedule,
+    /// advancing the instrument's RNG.
+    pub fn sample_counts(&mut self, counts: &SpaceCounts) -> SpaceCounts {
+        self.emon.sample_counts(counts)
+    }
+}
+
+impl SimObserver for EmonObserver {
+    fn on_event(&mut self, _now: SimTime, _event: &SimEvent) {}
+}
+
+/// Number of latency buckets: one per possible `u64` bit length, plus
+/// bucket 0 for a zero-nanosecond latency.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram over integer nanoseconds.
+///
+/// Bucket `b > 0` holds values whose bit length is `b`, i.e. the range
+/// `[2^(b-1), 2^b - 1]`; bucket 0 holds exact zeros. Recording costs one
+/// `leading_zeros` and one increment — no floating point anywhere on the
+/// recording path (the raw-time lint's discipline extends to the seam's
+/// hot paths). Quantiles resolve to a bucket upper bound, so a reported
+/// p99 is an upper bound within a factor of two of the true value —
+/// exactly the fidelity a log histogram promises.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (u64::BITS - ns.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The upper bound (in nanoseconds) of the bucket containing the
+    /// `num/den` quantile, computed with integer arithmetic; 0 when the
+    /// histogram is empty.
+    ///
+    /// The rank is `ceil(total × num / den)` clamped to at least 1, so
+    /// `quantile_ns(1, 2)` is the median bucket and `quantile_ns(99, 100)`
+    /// the p99 bucket.
+    pub fn quantile_ns(&self, num: u64, den: u64) -> u64 {
+        if self.total == 0 || den == 0 {
+            return 0;
+        }
+        let rank = self.total.saturating_mul(num).div_ceil(den).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Per-transaction-type commit-latency histograms.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    per_kind: Vec<LogHistogram>,
+    all: LogHistogram,
+}
+
+impl LatencyStats {
+    /// Records a commit of transaction-type index `kind` with the given
+    /// latency in nanoseconds.
+    pub fn record(&mut self, kind: usize, ns: u64) {
+        if self.per_kind.len() <= kind {
+            self.per_kind.resize_with(kind + 1, LogHistogram::new);
+        }
+        self.per_kind[kind].record(ns);
+        self.all.record(ns);
+    }
+
+    /// The histogram for transaction-type index `kind`, if any commit of
+    /// that kind was recorded.
+    pub fn kind(&self, kind: usize) -> Option<&LogHistogram> {
+        self.per_kind.get(kind).filter(|h| h.total() > 0)
+    }
+
+    /// The histogram across every transaction type.
+    pub fn all(&self) -> &LogHistogram {
+        &self.all
+    }
+
+    /// Drops every recorded sample.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Records per-transaction-type commit latencies from the seam.
+///
+/// The histograms live behind a shared handle ([`LatencyObserver::stats`])
+/// so the caller keeps access after the observer is moved into the
+/// simulator. Window resets clear the histograms: recorded latencies are
+/// exactly the commits inside the measurement window (a transaction
+/// started during warm-up that commits in-window is included, measured
+/// from its true start).
+#[derive(Debug, Default)]
+pub struct LatencyObserver {
+    stats: Arc<Mutex<LatencyStats>>,
+}
+
+impl LatencyObserver {
+    /// A fresh observer with an empty histogram set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to the histograms; clones observe the same data.
+    pub fn stats(&self) -> Arc<Mutex<LatencyStats>> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl SimObserver for LatencyObserver {
+    fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+        if let SimEvent::TxnCommitted { kind, latency, .. } = *event {
+            // A poisoned mutex is unreachable here (no panic can occur
+            // while it is held); skipping beats poisoning the simulation.
+            if let Ok(mut stats) = self.stats.lock() {
+                stats.record(kind, latency.as_nanos());
+            }
+        }
+    }
+
+    fn on_reset(&mut self, _now: SimTime) {
+        if let Ok(mut stats) = self.stats.lock() {
+            stats.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_observer_accumulates_and_resets() {
+        let mut s = StatsObserver::default();
+        s.on_event(
+            SimTime::ZERO,
+            &SimEvent::Charged {
+                os: false,
+                instructions: 1_000,
+            },
+        );
+        s.on_event(
+            SimTime::ZERO,
+            &SimEvent::Charged {
+                os: true,
+                instructions: 250,
+            },
+        );
+        s.on_event(
+            SimTime::ZERO,
+            &SimEvent::TxnCommitted {
+                pid: 1,
+                kind: 0,
+                latency: SimTime::from_micros(10),
+            },
+        );
+        s.on_event(
+            SimTime::ZERO,
+            &SimEvent::BusObserved {
+                utilization: 0.5,
+                ioq_latency_cycles: 120.0,
+            },
+        );
+        assert_eq!(s.committed(), 1);
+        assert_eq!(s.user_instructions(), 1_000.0);
+        assert_eq!(s.os_instructions(), 250.0);
+        assert_eq!(s.bus_windows(), 1);
+        assert_eq!(s.bus_util_sum(), 0.5);
+        assert_eq!(s.ioq_sum(), 120.0);
+        s.on_reset(SimTime::from_secs(1));
+        assert_eq!(s.committed(), 0);
+        assert_eq!(s.user_instructions(), 0.0);
+        assert_eq!(s.bus_windows(), 0);
+    }
+
+    #[test]
+    fn invariant_observer_accepts_paired_lifecycles() {
+        let mut inv = InvariantObserver::default();
+        inv.on_event(SimTime::ZERO, &SimEvent::TxnStarted { pid: 1, kind: 2 });
+        // A window reset must not forget the in-flight transaction.
+        inv.on_reset(SimTime::from_secs(1));
+        inv.on_event(
+            SimTime::from_secs(2),
+            &SimEvent::TxnCommitted {
+                pid: 1,
+                kind: 2,
+                latency: SimTime::from_secs(2),
+            },
+        );
+        inv.on_event(SimTime::ZERO, &SimEvent::FlushBegin { bytes: 100 });
+        inv.on_event(SimTime::ZERO, &SimEvent::FlushEnd { woken: 1 });
+        assert!(inv.verify().is_ok());
+    }
+
+    #[test]
+    fn invariant_observer_latches_unpaired_commit() {
+        let mut inv = InvariantObserver::default();
+        inv.on_event(
+            SimTime::ZERO,
+            &SimEvent::TxnCommitted {
+                pid: 9,
+                kind: 0,
+                latency: SimTime::ZERO,
+            },
+        );
+        let err = inv.verify().unwrap_err();
+        assert!(matches!(
+            err,
+            odb_core::Error::CorruptState {
+                component: "engine::observe",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invariant_observer_latches_kind_mismatch_and_double_start() {
+        let mut inv = InvariantObserver::default();
+        inv.on_event(SimTime::ZERO, &SimEvent::TxnStarted { pid: 1, kind: 0 });
+        inv.on_event(
+            SimTime::ZERO,
+            &SimEvent::TxnCommitted {
+                pid: 1,
+                kind: 3,
+                latency: SimTime::ZERO,
+            },
+        );
+        assert!(inv.verify().is_err());
+
+        let mut inv = InvariantObserver::default();
+        inv.on_event(SimTime::ZERO, &SimEvent::TxnStarted { pid: 1, kind: 0 });
+        inv.on_event(SimTime::ZERO, &SimEvent::TxnStarted { pid: 1, kind: 1 });
+        assert!(inv.verify().is_err());
+    }
+
+    #[test]
+    fn invariant_observer_latches_overlapping_flushes() {
+        let mut inv = InvariantObserver::default();
+        inv.on_event(SimTime::ZERO, &SimEvent::FlushBegin { bytes: 1 });
+        inv.on_event(SimTime::ZERO, &SimEvent::FlushBegin { bytes: 2 });
+        assert!(inv.verify().is_err());
+
+        let mut inv = InvariantObserver::default();
+        inv.on_event(SimTime::ZERO, &SimEvent::FlushEnd { woken: 0 });
+        assert!(inv.verify().is_err());
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile_ns(1, 2), 0, "empty histogram");
+        h.record(0);
+        h.record(1);
+        h.record(1_000); // bucket 10: [512, 1023]
+        h.record(1_500); // bucket 11: [1024, 2047]
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.quantile_ns(1, 4), 0);
+        assert_eq!(h.quantile_ns(1, 2), 1);
+        assert_eq!(h.quantile_ns(3, 4), 1_023);
+        assert_eq!(h.quantile_ns(99, 100), 2_047);
+        assert_eq!(h.quantile_ns(1, 1), 2_047);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_bound_percentiles() {
+        let mut h = LogHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        // p50 of 1..=1000 is 500; its bucket [256, 511] upper bound is 511.
+        assert_eq!(h.quantile_ns(1, 2), 511);
+        // p99 is 990; bucket [512, 1023].
+        assert_eq!(h.quantile_ns(99, 100), 1_023);
+        // Extremes stay in range.
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_ns(1, 1), u64::MAX);
+    }
+
+    #[test]
+    fn log_histogram_merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.quantile_ns(1, 1), (1u64 << 20) - 1);
+    }
+
+    #[test]
+    fn latency_observer_records_per_kind_through_the_handle() {
+        let mut obs = LatencyObserver::new();
+        let handle = obs.stats();
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::TxnCommitted {
+                pid: 1,
+                kind: 0,
+                latency: SimTime::from_micros(100),
+            },
+        );
+        obs.on_event(
+            SimTime::ZERO,
+            &SimEvent::TxnCommitted {
+                pid: 2,
+                kind: 4,
+                latency: SimTime::from_millis(2),
+            },
+        );
+        // Non-commit events are ignored.
+        obs.on_event(SimTime::ZERO, &SimEvent::LockWait { pid: 1 });
+        {
+            let stats = handle.lock().unwrap();
+            assert_eq!(stats.all().total(), 2);
+            assert_eq!(stats.kind(0).unwrap().total(), 1);
+            assert_eq!(stats.kind(4).unwrap().total(), 1);
+            assert!(stats.kind(1).is_none());
+            assert!(stats.kind(9).is_none());
+        }
+        obs.on_reset(SimTime::from_secs(1));
+        assert_eq!(handle.lock().unwrap().all().total(), 0);
+    }
+
+    #[test]
+    fn emon_observer_samples_offline_only() {
+        let mut obs = EmonObserver::new(MeasurementPlan::scaled(100), NoiseModel::default(), 7);
+        let truth = SpaceCounts {
+            instructions: 1_000_000_000,
+            cycles: 2_000_000_000,
+            l3_misses: 4_000_000,
+            l2_misses: 12_000_000,
+            tc_misses: 3_000_000,
+            tlb_misses: 2_000_000,
+            branch_mispredictions: 5_000_000,
+        };
+        // Events do not advance the sampling stream: interleaving them
+        // must not change the draw.
+        let mut twin = EmonObserver::new(MeasurementPlan::scaled(100), NoiseModel::default(), 7);
+        obs.on_event(SimTime::ZERO, &SimEvent::LockWait { pid: 0 });
+        obs.on_event(SimTime::ZERO, &SimEvent::FlushBegin { bytes: 1 });
+        assert_eq!(obs.sample_counts(&truth), twin.sample_counts(&truth));
+    }
+}

@@ -16,13 +16,14 @@
 
 use crate::buffer::{BufferAccess, BufferCache};
 use crate::locks::{canonical_order, AcquireResult, LockManager};
+use crate::observe::StatsObserver;
 use crate::schema::{PageMap, TouchKind, PAGE_BYTES};
 use crate::txn::{Transaction, TxnSampler};
 use crate::writers::{CommitAction, DbWriter, LogWriter};
 use odb_core::breakdown::StallCosts;
 use odb_core::config::OltpConfig;
 use odb_core::metrics::{IoPerTxn, Measurement, SpaceCounts};
-use odb_des::{EventQueue, SimTime};
+use odb_des::{EventQueue, ObserverHub, SimEvent, SimObserver, SimTime};
 use odb_iosim::{DiskArray, RequestKind};
 use odb_memsim::bus::BusWindow;
 use odb_memsim::{EventRates, FsbModel};
@@ -137,6 +138,8 @@ struct TxnState {
     /// it the owner while it sleeps, so on wake-up the grant must be
     /// recorded without re-acquiring.
     lock_handover_pending: bool,
+    /// When execution began (for commit-latency observation).
+    start: SimTime,
 }
 
 /// The assembled system simulator.
@@ -175,14 +178,14 @@ pub struct SystemSim {
     /// checked for coldness after `writeback_delay`.
     pending_writebacks: std::collections::VecDeque<(u64, u64, SimTime)>,
 
-    // Measurement accumulators (since the last reset).
-    committed: u64,
-    user_instructions: f64,
-    os_instructions: f64,
+    /// Start of the current measurement window.
     measure_start: SimTime,
-    bus_util_sum: f64,
-    ioq_sum: f64,
-    bus_windows: u64,
+
+    /// The observer seam. Every measurement accumulator lives behind it
+    /// as a registered [`SimObserver`] (a [`StatsObserver`] is always
+    /// registered); extra observers (latency histograms, trace sinks,
+    /// invariant checks) attach via [`SystemSim::register_observer`].
+    hub: ObserverHub,
 }
 
 /// DMA bus transactions per 8 KB disk transfer (one per 64 B line).
@@ -246,14 +249,13 @@ impl SystemSim {
             rng: SmallRng::seed_from_u64(seed),
             bus_transactions_window: 0.0,
             pending_writebacks: std::collections::VecDeque::new(),
-            committed: 0,
-            user_instructions: 0.0,
-            os_instructions: 0.0,
             measure_start: SimTime::ZERO,
-            bus_util_sum: 0.0,
-            ioq_sum: 0.0,
-            bus_windows: 0,
+            hub: ObserverHub::new(),
         };
+        sim.hub.register(Box::new(StatsObserver::default()));
+        #[cfg(feature = "invariants")]
+        sim.hub
+            .register(Box::new(crate::observe::InvariantObserver::default()));
         sim.prewarm();
         for pid in 0..clients {
             sim.runq.make_ready(ProcessId(pid as u32));
@@ -307,7 +309,30 @@ impl SystemSim {
 
     /// Transactions committed since the last reset.
     pub fn committed(&self) -> u64 {
-        self.committed
+        self.stats().map_or(0, StatsObserver::committed)
+    }
+
+    /// The always-registered statistics observer.
+    fn stats(&self) -> Option<&StatsObserver> {
+        self.hub.get::<StatsObserver>()
+    }
+
+    /// Registers an observer on the simulation's hub; it receives every
+    /// subsequent [`SimEvent`]. Observers are observation-only, so
+    /// registration never changes simulation bits (the engine's
+    /// determinism tests and the sweep drift gate hold this).
+    pub fn register_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.hub.register(observer);
+    }
+
+    /// The first registered observer of concrete type `T`, if any.
+    pub fn observer<T: SimObserver>(&self) -> Option<&T> {
+        self.hub.get::<T>()
+    }
+
+    /// Mutable companion to [`SystemSim::observer`].
+    pub fn observer_mut<T: SimObserver>(&mut self) -> Option<&mut T> {
+        self.hub.get_mut::<T>()
     }
 
     /// Runs the event loop until `duration` has elapsed from now.
@@ -348,12 +373,7 @@ impl SystemSim {
         self.log_writer.reset_stats();
         self.db_writer.reset_stats();
         self.disks.reset_stats();
-        self.committed = 0;
-        self.user_instructions = 0.0;
-        self.os_instructions = 0.0;
-        self.bus_util_sum = 0.0;
-        self.ioq_sum = 0.0;
-        self.bus_windows = 0;
+        self.hub.reset(self.now);
         self.measure_start = self.now;
     }
 
@@ -366,16 +386,25 @@ impl SystemSim {
         let elapsed = self.now.saturating_since(self.measure_start);
         let elapsed_s = elapsed.as_secs_f64();
         let f = self.config.system.frequency_hz;
-        let committed = self.committed.max(1);
+        let (transactions, user_instr, os_instr, bus_util_sum, ioq_sum, bus_windows) =
+            self.stats().map_or((0, 0.0, 0.0, 0.0, 0.0, 0), |s| {
+                (
+                    s.committed(),
+                    s.user_instructions(),
+                    s.os_instructions(),
+                    s.bus_util_sum(),
+                    s.ioq_sum(),
+                    s.bus_windows(),
+                )
+            });
+        let committed = transactions.max(1);
         let per_txn = |v: f64| v / committed as f64;
 
-        let user_instr = self.user_instructions;
-        let os_instr = self.os_instructions;
         let ru = self.rates.user;
         let ro = self.rates.os;
         let user = SpaceCounts {
             instructions: user_instr as u64,
-            cycles: (user_instr * self.avg_cpi_user()) as u64,
+            cycles: (user_instr * self.avg_cpi_user(user_instr)) as u64,
             l3_misses: (user_instr * ru.l3_miss) as u64,
             l2_misses: (user_instr * ru.l2_miss) as u64,
             tc_misses: (user_instr * ru.tc_miss) as u64,
@@ -384,7 +413,7 @@ impl SystemSim {
         };
         let os = SpaceCounts {
             instructions: os_instr as u64,
-            cycles: (os_instr * self.avg_cpi_os()) as u64,
+            cycles: (os_instr * self.avg_cpi_os(os_instr)) as u64,
             l3_misses: (os_instr * ro.l3_miss) as u64,
             l2_misses: (os_instr * ro.l2_miss) as u64,
             tc_misses: (os_instr * ro.tc_miss) as u64,
@@ -398,7 +427,7 @@ impl SystemSim {
             clients: self.config.workload.clients,
             processors: self.config.system.processors,
             elapsed_seconds: elapsed_s,
-            transactions: self.committed,
+            transactions,
             user,
             os,
             cpu_utilization: self.accounting.utilization(elapsed),
@@ -410,13 +439,13 @@ impl SystemSim {
             },
             disk_reads_per_txn: per_txn(dstats.reads as f64),
             context_switches_per_txn: per_txn(self.runq.context_switches() as f64),
-            bus_utilization: if self.bus_windows > 0 {
-                self.bus_util_sum / self.bus_windows as f64
+            bus_utilization: if bus_windows > 0 {
+                bus_util_sum / bus_windows as f64
             } else {
                 0.0
             },
-            bus_transaction_cycles: if self.bus_windows > 0 {
-                self.ioq_sum / self.bus_windows as f64
+            bus_transaction_cycles: if bus_windows > 0 {
+                ioq_sum / bus_windows as f64
             } else {
                 self.ioq_latency
             },
@@ -424,22 +453,22 @@ impl SystemSim {
     }
 
     /// Mean user CPI over the window, from accounted time (exact).
-    fn avg_cpi_user(&self) -> f64 {
+    fn avg_cpi_user(&self, user_instructions: f64) -> f64 {
         // Accounted busy time already equals instr × cpi / F per segment,
         // so cycles = busy_ns × F; divide by instructions for the mean.
         // Track via accounting: user cycles = user_ns * F / 1e9.
         let user_ns: f64 = self.user_busy_ns();
-        if self.user_instructions > 0.0 {
-            user_ns * self.config.system.frequency_hz / 1e9 / self.user_instructions
+        if user_instructions > 0.0 {
+            user_ns * self.config.system.frequency_hz / 1e9 / user_instructions
         } else {
             self.cpi_user
         }
     }
 
-    fn avg_cpi_os(&self) -> f64 {
+    fn avg_cpi_os(&self, os_instructions: f64) -> f64 {
         let os_ns = self.os_busy_ns();
-        if self.os_instructions > 0.0 {
-            os_ns * self.config.system.frequency_hz / 1e9 / self.os_instructions
+        if os_instructions > 0.0 {
+            os_ns * self.config.system.frequency_hz / 1e9 / os_instructions
         } else {
             self.cpi_os
         }
@@ -471,15 +500,23 @@ impl SystemSim {
             Event::LogFlushStart => {
                 if !self.log_writer.is_flushing() && self.log_writer.batch_len() > 0 {
                     let bytes = self.log_writer.begin_flush()?;
+                    self.hub.emit(self.now, &SimEvent::FlushBegin { bytes });
                     self.bus_transactions_window += bytes as f64 / 64.0;
-                    let done =
-                        self.disks
-                            .submit(RequestKind::LogWrite, 0, bytes, self.now, &mut self.rng);
+                    let done = self.disks.submit(
+                        RequestKind::LogWrite,
+                        0,
+                        bytes,
+                        self.now,
+                        &mut self.rng,
+                        &mut self.hub,
+                    );
                     self.queue.schedule(done, Event::LogFlushDone);
                 }
             }
             Event::LogFlushDone => {
                 let (woken, more) = self.log_writer.flush_complete()?;
+                self.hub
+                    .emit(self.now, &SimEvent::FlushEnd { woken: woken.len() });
                 for pid in woken {
                     self.complete_transaction(pid)?;
                     self.procs[pid.0 as usize].pending_os_instructions +=
@@ -504,9 +541,13 @@ impl SystemSim {
                 self.ioq_latency = obs.ioq_latency_cycles;
                 self.cpi_user = self.rates.user.cpi(&self.costs, self.ioq_latency);
                 self.cpi_os = self.rates.os.cpi(&self.costs, self.ioq_latency);
-                self.bus_util_sum += obs.utilization;
-                self.ioq_sum += obs.ioq_latency_cycles;
-                self.bus_windows += 1;
+                self.hub.emit(
+                    self.now,
+                    &SimEvent::BusObserved {
+                        utilization: obs.utilization,
+                        ioq_latency_cycles: obs.ioq_latency_cycles,
+                    },
+                );
                 self.queue
                     .schedule(self.now + self.params.bus_window, Event::BusTick);
             }
@@ -586,7 +627,7 @@ impl SystemSim {
         if self.runq.running_on(cpu).is_some() {
             return Ok(());
         }
-        if let Some(pid) = self.runq.dispatch(cpu) {
+        if let Some(pid) = self.runq.dispatch(cpu, self.now, &mut self.hub) {
             self.plan_burst(cpu, pid)?;
         }
         Ok(())
@@ -654,13 +695,17 @@ impl SystemSim {
                 txn.locks.sort_by_key(canonical_order);
                 let touches = txn.touches.len().max(1) as u64;
                 let instr_per_touch = txn.user_instructions / (touches + 1);
+                let kind = txn.ty.index();
                 self.procs[pid.0 as usize].txn = Some(TxnState {
                     txn,
                     next_touch: 0,
                     locks_acquired: 0,
                     instr_per_touch,
                     lock_handover_pending: false,
+                    start: self.now,
                 });
+                self.hub
+                    .emit(self.now, &SimEvent::TxnStarted { pid: pid.0, kind });
                 // Per-transaction syscall overhead (client messaging).
                 elapsed_ns += self.charge_os(cpu, self.os_costs.per_txn_syscall_instructions);
             }
@@ -685,6 +730,7 @@ impl SystemSim {
                     }
                     AcquireResult::Queued => {
                         Self::txn_state_mut(&mut self.procs, pid)?.lock_handover_pending = true;
+                        self.hub.emit(self.now, &SimEvent::LockWait { pid: pid.0 });
                         break BurstEnd::LockWait;
                     }
                 }
@@ -707,6 +753,8 @@ impl SystemSim {
                     match self.buffer.access(t.page, write) {
                         BufferAccess::Hit => {}
                         BufferAccess::Miss { evicted_dirty } => {
+                            self.hub
+                                .emit(self.now, &SimEvent::BufferMiss { page: t.page, write });
                             if let Some(victim) = evicted_dirty {
                                 if let Some(page) = self.db_writer.enqueue(victim) {
                                     self.submit_page_write(page);
@@ -746,6 +794,7 @@ impl SystemSim {
                                 PAGE_BYTES,
                                 self.now + SimTime::from_nanos_f64(elapsed_ns),
                                 &mut self.rng,
+                                &mut self.hub,
                             );
                             self.queue.schedule(done, Event::IoDone { pid });
                             break BurstEnd::IoWait;
@@ -824,12 +873,19 @@ impl SystemSim {
         };
         let held = &st.txn.locks[..st.locks_acquired];
         let woken = self.locks.release_all(pid, held)?;
+        // Announce the commit before waking waiters: a woken process may
+        // itself start (or even complete) a transaction while handling
+        // this event, and the commit happened first.
+        self.hub.emit_with(self.now, || SimEvent::TxnCommitted {
+            pid: pid.0,
+            kind: st.txn.ty.index(),
+            latency: self.now.saturating_since(st.start),
+        });
         for waiter in woken {
             self.procs[waiter.0 as usize].pending_os_instructions +=
                 self.os_costs.ipc_instructions;
             self.wake(waiter)?;
         }
-        self.committed += 1;
         Ok(())
     }
 
@@ -844,9 +900,14 @@ impl SystemSim {
 
     fn submit_page_write(&mut self, page: u64) {
         self.bus_transactions_window += DMA_LINES_PER_PAGE;
-        let done = self
-            .disks
-            .submit(RequestKind::PageWrite, page, PAGE_BYTES, self.now, &mut self.rng);
+        let done = self.disks.submit(
+            RequestKind::PageWrite,
+            page,
+            PAGE_BYTES,
+            self.now,
+            &mut self.rng,
+            &mut self.hub,
+        );
         self.queue.schedule(done, Event::PageWriteDone);
     }
 
@@ -855,7 +916,13 @@ impl SystemSim {
         let ns = n as f64 * self.cpi_user / self.config.system.frequency_hz * 1e9;
         self.accounting
             .charge_user(cpu, SimTime::from_nanos_f64(ns));
-        self.user_instructions += n as f64;
+        self.hub.emit(
+            self.now,
+            &SimEvent::Charged {
+                os: false,
+                instructions: n,
+            },
+        );
         self.bus_transactions_window += n as f64 * self.rates.user.bus_transactions_per_instr();
         ns
     }
@@ -865,7 +932,13 @@ impl SystemSim {
         let ns = n as f64 * self.cpi_os / self.config.system.frequency_hz * 1e9;
         self.accounting
             .charge_os(cpu, SimTime::from_nanos_f64(ns));
-        self.os_instructions += n as f64;
+        self.hub.emit(
+            self.now,
+            &SimEvent::Charged {
+                os: true,
+                instructions: n,
+            },
+        );
         self.bus_transactions_window += n as f64 * self.rates.os.bus_transactions_per_instr();
         ns
     }
@@ -897,12 +970,11 @@ impl SystemSim {
     /// Returns [`CorruptState`](odb_core::Error::CorruptState) naming the
     /// corrupted component.
     pub fn verify_invariants(&self) -> Result<(), odb_core::Error> {
-        self.sampler.check_invariants()
-    }
-
-    /// Handle to the buffer manager's dirty-page count (diagnostics).
-    pub fn committed_count(&self) -> u64 {
-        self.committed
+        self.sampler.check_invariants()?;
+        if let Some(inv) = self.hub.get::<crate::observe::InvariantObserver>() {
+            inv.verify()?;
+        }
+        Ok(())
     }
 
     /// Deterministic RNG usage means identical seeds replay identically;

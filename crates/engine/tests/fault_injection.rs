@@ -10,6 +10,9 @@
 //! fails here, not in production sweeps.
 
 #![cfg(feature = "invariants")]
+// Tests use unwrap() freely; the workspace-level `clippy::unwrap_used`
+// deny applies to shipped code only.
+#![allow(clippy::unwrap_used)]
 
 use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
 use odb_core::Error;

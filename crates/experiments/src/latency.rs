@@ -1,0 +1,341 @@
+//! Commit-latency artifacts from the observer seam.
+//!
+//! The paper's published metrics are all *throughput-shaped* (TPS, IPX,
+//! CPI); the observer seam makes the latency dimension measurable without
+//! touching the simulation. This module re-runs the trend configurations
+//! with an [`odb_engine::LatencyObserver`] registered and reduces its
+//! per-transaction-type log₂ histograms to a table (`latency.csv`) and a
+//! latency-vs-`W` figure across the cached/scaled pivot.
+//!
+//! It also hosts [`TraceObserver`], the JSONL trace sink behind the CLI's
+//! `--trace` flag: every seam event (except the high-rate `Charged`
+//! ticks) as one JSON object per line, for offline timeline tooling.
+
+use crate::ladder::TREND_WAREHOUSES;
+use crate::report::TextTable;
+use crate::runner::{Sweep, SweepOptions};
+use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
+use odb_core::series::Series;
+use odb_des::{SimEvent, SimObserver, SimTime};
+use odb_engine::txn::TxnType;
+use odb_engine::{LatencyObserver, LatencyStats, OdbSimulator};
+use std::sync::{Arc, Mutex};
+
+/// The latency study runs the 4-processor trend column (the paper's
+/// headline scaling axis).
+const PROCESSORS: u32 = 4;
+
+/// Quantiles reported per histogram: (label, numerator, denominator).
+const QUANTILES: [(&str, u64, u64); 3] = [("p50", 1, 2), ("p95", 19, 20), ("p99", 99, 100)];
+
+/// One observed configuration's latency histograms.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Warehouses of the configuration.
+    pub warehouses: u32,
+    /// Client count, taken from the sweep's utilization search.
+    pub clients: u32,
+    /// Snapshot of the per-transaction-type histograms.
+    pub stats: LatencyStats,
+}
+
+/// Re-runs every trend `(W, 4P)` configuration with a latency observer
+/// registered, reusing each point's searched client count from `sweep`.
+///
+/// Deterministic: the run uses the same per-point derived seed as the
+/// sweep's measurement run, so regenerated artifacts are byte-identical
+/// run to run (the sweep drift gate relies on this).
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors, and reports corrupt
+/// state if an observed run commits nothing or the observer's shared
+/// histogram handle is poisoned.
+pub fn measure(
+    system: &SystemConfig,
+    sweep: &Sweep,
+    options: &SweepOptions,
+) -> Result<Vec<LatencyPoint>, odb_core::Error> {
+    let mut points = Vec::new();
+    for &w in &TREND_WAREHOUSES {
+        let Some(row) = sweep.row(PROCESSORS, w) else {
+            // A partial sweep (tests, replays of subsets) simply yields a
+            // partial latency study.
+            continue;
+        };
+        let config = OltpConfig::new(
+            WorkloadConfig::new(w, row.clients)?,
+            system.clone().with_processors(PROCESSORS),
+        )?;
+        let opts = options.measure.for_point(w, PROCESSORS);
+        let observer = LatencyObserver::new();
+        let handle = observer.stats();
+        OdbSimulator::new(config, opts)?.run_observed(vec![Box::new(observer)])?;
+        let stats = handle
+            .lock()
+            .map_err(|_| {
+                odb_core::Error::corrupt("experiments::latency", "latency handle poisoned")
+            })?
+            .clone();
+        if stats.all().total() == 0 {
+            return Err(odb_core::Error::corrupt(
+                "experiments::latency",
+                format!("observed run at {w} warehouses committed nothing"),
+            ));
+        }
+        points.push(LatencyPoint {
+            warehouses: w,
+            clients: row.clients,
+            stats,
+        });
+    }
+    Ok(points)
+}
+
+/// Converts a log₂-bucket nanosecond upper bound to milliseconds.
+fn bucket_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the study as a table: one row per `(W, transaction type)`
+/// plus an `all` aggregate per `W`. Latencies are the histogram buckets'
+/// upper bounds in milliseconds.
+pub fn table(points: &[LatencyPoint]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Warehouses".into(),
+        "Clients".into(),
+        "Txn type".into(),
+        "Commits".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "p99 ms".into(),
+    ]);
+    for point in points {
+        let mut row = |label: &str, h: &odb_engine::LogHistogram| {
+            let mut cells = vec![
+                point.warehouses.to_string(),
+                point.clients.to_string(),
+                label.to_owned(),
+                h.total().to_string(),
+            ];
+            for (_, num, den) in QUANTILES {
+                cells.push(format!("{:.3}", bucket_ms(h.quantile_ns(num, den))));
+            }
+            t.row(cells);
+        };
+        for ty in TxnType::ALL {
+            if let Some(h) = point.stats.kind(ty.index()) {
+                row(&format!("{ty:?}"), h);
+            }
+        }
+        row("all", point.stats.all());
+    }
+    t
+}
+
+/// Aggregate latency quantiles as chart series (x = warehouses,
+/// y = milliseconds), one series per quantile — the latency-vs-`W`
+/// figure across the cached/scaled pivot.
+pub fn series(points: &[LatencyPoint]) -> Vec<Series> {
+    QUANTILES
+        .iter()
+        .map(|&(label, num, den)| {
+            let mut s = Series::new(label);
+            for point in points {
+                s.push(
+                    f64::from(point.warehouses),
+                    bucket_ms(point.stats.all().quantile_ns(num, den)),
+                );
+            }
+            s
+        })
+        .collect()
+}
+
+/// Default line cap for [`TraceObserver`]: enough for several simulated
+/// seconds of non-`Charged` events while bounding the file size.
+pub const TRACE_LINE_CAP: usize = 200_000;
+
+/// A JSONL trace sink: one JSON object per seam event.
+///
+/// `Charged` events are skipped (they fire per instruction segment and
+/// would dwarf everything else); the buffer stops growing at the
+/// configured cap. Lines are reachable through [`TraceObserver::lines`]
+/// after the simulation is done with the observer.
+#[derive(Debug)]
+pub struct TraceObserver {
+    lines: Arc<Mutex<Vec<String>>>,
+    cap: usize,
+}
+
+impl TraceObserver {
+    /// A sink buffering at most `cap` lines.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            lines: Arc::new(Mutex::new(Vec::new())),
+            cap,
+        }
+    }
+
+    /// Shared handle to the buffered lines.
+    pub fn lines(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.lines)
+    }
+}
+
+impl SimObserver for TraceObserver {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent) {
+        if matches!(event, SimEvent::Charged { .. }) {
+            return;
+        }
+        let Ok(mut lines) = self.lines.lock() else {
+            return;
+        };
+        if lines.len() >= self.cap {
+            return;
+        }
+        lines.push(json_line(now, event));
+    }
+}
+
+/// Formats one event as a JSON object. Hand-rolled: every field is a
+/// number, a bool, or an enum tag from a fixed set, so no escaping is
+/// ever needed.
+fn json_line(now: SimTime, event: &SimEvent) -> String {
+    let t = now.as_nanos();
+    match *event {
+        SimEvent::TxnStarted { pid, kind } => {
+            format!(r#"{{"t_ns":{t},"event":"txn_started","pid":{pid},"kind":{kind}}}"#)
+        }
+        SimEvent::TxnCommitted { pid, kind, latency } => format!(
+            r#"{{"t_ns":{t},"event":"txn_committed","pid":{pid},"kind":{kind},"latency_ns":{}}}"#,
+            latency.as_nanos()
+        ),
+        SimEvent::LockWait { pid } => {
+            format!(r#"{{"t_ns":{t},"event":"lock_wait","pid":{pid}}}"#)
+        }
+        SimEvent::BufferMiss { page, write } => {
+            format!(r#"{{"t_ns":{t},"event":"buffer_miss","page":{page},"write":{write}}}"#)
+        }
+        SimEvent::FlushBegin { bytes } => {
+            format!(r#"{{"t_ns":{t},"event":"flush_begin","bytes":{bytes}}}"#)
+        }
+        SimEvent::FlushEnd { woken } => {
+            format!(r#"{{"t_ns":{t},"event":"flush_end","woken":{woken}}}"#)
+        }
+        SimEvent::ContextSwitch { cpu, pid } => {
+            format!(r#"{{"t_ns":{t},"event":"context_switch","cpu":{cpu},"pid":{pid}}}"#)
+        }
+        SimEvent::IoComplete {
+            kind,
+            locator,
+            bytes,
+            done,
+        } => format!(
+            r#"{{"t_ns":{t},"event":"io_complete","kind":"{kind}","locator":{locator},"bytes":{bytes},"done_ns":{}}}"#,
+            done.as_nanos()
+        ),
+        SimEvent::Charged { os, instructions } => {
+            format!(r#"{{"t_ns":{t},"event":"charged","os":{os},"instructions":{instructions}}}"#)
+        }
+        SimEvent::BusObserved {
+            utilization,
+            ioq_latency_cycles,
+        } => format!(
+            r#"{{"t_ns":{t},"event":"bus_observed","utilization":{utilization},"ioq_latency_cycles":{ioq_latency_cycles}}}"#
+        ),
+    }
+}
+
+/// Runs the demonstration configuration (100 W, 48 clients, 4 P — the
+/// paper's representative workload) with a [`TraceObserver`] registered
+/// and returns the buffered JSONL lines.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn trace_demo(
+    system: &SystemConfig,
+    options: &SweepOptions,
+) -> Result<Vec<String>, odb_core::Error> {
+    let config = OltpConfig::new(
+        WorkloadConfig::new(100, 48)?,
+        system.clone().with_processors(PROCESSORS),
+    )?;
+    let observer = TraceObserver::new(TRACE_LINE_CAP);
+    let handle = observer.lines();
+    OdbSimulator::new(config, options.measure.clone())?
+        .run_observed(vec![Box::new(observer)])?;
+    let lines = handle
+        .lock()
+        .map_err(|_| odb_core::Error::corrupt("experiments::latency", "trace handle poisoned"))?
+        .clone();
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::ConfigPoint;
+
+    #[test]
+    fn latency_study_runs_on_a_mini_sweep() {
+        let system = SystemConfig::xeon_quad();
+        let options = SweepOptions::quick();
+        let points = [ConfigPoint {
+            warehouses: 10,
+            processors: 4,
+        }];
+        let sweep = Sweep::run_points(&system, &options, &points);
+        sweep.ensure_complete().unwrap();
+        let study = measure(&system, &sweep, &options).unwrap();
+        assert_eq!(study.len(), 1, "only the measured trend point appears");
+        let point = &study[0];
+        assert_eq!(point.warehouses, 10);
+        assert!(point.stats.all().total() > 0);
+        // Quantiles are monotone by construction.
+        let all = point.stats.all();
+        assert!(all.quantile_ns(1, 2) <= all.quantile_ns(99, 100));
+        let t = table(&study);
+        let csv = t.to_csv();
+        assert!(csv.contains("NewOrder"), "per-type rows present: {csv}");
+        assert!(csv.lines().any(|l| l.contains(",all,")), "aggregate row");
+        let s = series(&study);
+        assert_eq!(s.len(), QUANTILES.len());
+        assert!(s.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn trace_lines_are_json_objects() {
+        let mut obs = TraceObserver::new(3);
+        let handle = obs.lines();
+        obs.on_event(
+            SimTime::from_micros(5),
+            &SimEvent::TxnCommitted {
+                pid: 7,
+                kind: 1,
+                latency: SimTime::from_micros(5),
+            },
+        );
+        // Charged is filtered even below the cap.
+        obs.on_event(
+            SimTime::from_micros(6),
+            &SimEvent::Charged {
+                os: false,
+                instructions: 100,
+            },
+        );
+        obs.on_event(SimTime::from_micros(7), &SimEvent::LockWait { pid: 2 });
+        obs.on_event(SimTime::from_micros(8), &SimEvent::FlushBegin { bytes: 6144 });
+        // Cap: a fourth non-charged event is dropped.
+        obs.on_event(SimTime::from_micros(9), &SimEvent::FlushEnd { woken: 1 });
+        let lines = handle.lock().unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            r#"{"t_ns":5000,"event":"txn_committed","pid":7,"kind":1,"latency_ns":5000}"#
+        );
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(!lines.iter().any(|l| l.contains("charged")));
+    }
+}

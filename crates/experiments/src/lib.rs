@@ -25,6 +25,10 @@
 //! [`figures`] holds one generator per artifact; [`report`] renders
 //! aligned text tables and CSV; `ablations` (in [`figures`]) covers the
 //! §6.3 conjectures (L3 size, bus bandwidth, disk bandwidth, coherence).
+//! [`latency`] goes beyond the paper's throughput-shaped metrics: it
+//! re-runs the trend points with the engine's observer seam attached and
+//! reports per-transaction-type commit-latency quantiles (plus the
+//! `--trace` JSONL event sink).
 //!
 //! Sweep points are independent, so [`runner::Sweep::run_points`] runs
 //! them on a bounded worker pool ([`runner::SweepOptions::jobs`], the
@@ -39,6 +43,7 @@ pub mod chart;
 pub mod figures;
 pub mod html;
 pub mod ladder;
+pub mod latency;
 pub mod persist;
 pub mod report;
 pub mod runner;

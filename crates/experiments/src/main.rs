@@ -18,6 +18,7 @@
 //!   fig16       bus-transaction (IOQ) time and bus utilization
 //!   fig17 fig18 two-segment fits with pivot points (4P)
 //!   table5      pivot points for 1P/2P/4P + representative workload
+//!   latency     commit-latency quantiles by transaction type (4P)
 //!   fig19       Itanium2 CPI scaling (§6.3)
 //!   extrapolate §6.2 projection accuracy check
 //!   charts      ASCII line charts of the headline figures
@@ -45,19 +46,23 @@ const HELP: &str = "\
 odb-experiments — regenerate the paper's tables and figures
 
 Usage: odb-experiments [<command>] [--out DIR] [--quick] [--jobs N]
+                       [--trace FILE]
 
-Commands (default `all`): all, table1..table5, fig2..fig19,
+Commands (default `all`): all, table1..table5, fig2..fig19, latency,
 extrapolate, charts, scorecard, variance, report, ablations.
 
 Options:
-  --out DIR   Mirror artifacts under DIR (default `results/`).
-  --quick     Trade fidelity for speed (tests and smoke runs).
-  --jobs N    Run sweep points on N worker threads (default: all host
-              cores). Every N produces bit-identical artifacts: each
-              (W, P) point derives its seed from the point itself, and
-              rows are collected in grid order regardless of which
-              worker finishes first.
-  --help      Print this help.
+  --out DIR    Mirror artifacts under DIR (default `results/`).
+  --quick      Trade fidelity for speed (tests and smoke runs).
+  --jobs N     Run sweep points on N worker threads (default: all host
+               cores). Every N produces bit-identical artifacts: each
+               (W, P) point derives its seed from the point itself, and
+               rows are collected in grid order regardless of which
+               worker finishes first.
+  --trace FILE Run the representative workload (100W/48C/4P) with a
+               trace observer registered and write its seam events as
+               JSON Lines to FILE. With no command, only the trace runs.
+  --help       Print this help.
 
 Environment:
   ODB_REPLAY_SWEEP=FILE  Rebuild artifacts from a saved sweep.csv
@@ -70,6 +75,7 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut quick = false;
     let mut jobs: Option<usize> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +88,16 @@ fn main() {
                 out_dir = PathBuf::from(args.get(i).cloned().unwrap_or_default());
             }
             "--quick" => quick = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.is_empty() => trace = Some(PathBuf::from(path)),
+                    _ => {
+                        eprintln!("--trace needs an output file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -100,6 +116,9 @@ fn main() {
         }
         i += 1;
     }
+    // `--trace` with no command means "just the trace": don't drag the
+    // full 27-point sweep in behind an event dump.
+    let trace_only = trace.is_some() && command.is_none();
     let command = command.unwrap_or_else(|| "all".to_owned());
     let jobs = jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -110,10 +129,30 @@ fn main() {
         SweepOptions::standard()
     }
     .with_jobs(jobs);
-    if let Err(e) = run(&command, &options, &out_dir) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    if !trace_only {
+        if let Err(e) = run(&command, &options, &out_dir) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
+    if let Some(path) = trace {
+        if let Err(e) = write_trace(&path, &options) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the representative workload with the JSONL trace observer and
+/// writes its event stream to `path` (the `--trace` flag).
+fn write_trace(path: &Path, options: &SweepOptions) -> CmdResult {
+    eprintln!("tracing the representative workload (100W/48C/4P)...");
+    let lines = odb_experiments::latency::trace_demo(&SystemConfig::xeon_quad(), options)?;
+    let mut body = lines.join("\n");
+    body.push('\n');
+    std::fs::write(path, body)?;
+    eprintln!("wrote {} trace events to {}", lines.len(), path.display());
+    Ok(())
 }
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -161,7 +200,8 @@ const COMMANDS: &[(&str, Handler)] = &[
     ("fig17", Handler::Custom(fig17)),
     ("fig18", Handler::Custom(fig18)),
     ("table5", Handler::Fallible("Table 5: warehouses at the CPI/MPI pivot points", figures::table5)),
-    ("extrapolate", Handler::Fallible("Section 6.2: extrapolation from configurations <= 300W (4P CPI)", extrapolate)),
+    ("latency", Handler::Custom(latency)),
+    ("extrapolate",Handler::Fallible("Section 6.2: extrapolation from configurations <= 300W (4P CPI)", extrapolate)),
     ("scorecard", Handler::Custom(scorecard)),
     ("report", Handler::Custom(report)),
     ("charts", Handler::Custom(charts)),
@@ -242,6 +282,29 @@ fn fig12_4p(sweep: &Sweep) -> TextTable {
 
 fn extrapolate(sweep: &Sweep) -> Result<TextTable, odb_core::Error> {
     figures::extrapolation_check(sweep, 4, 300)
+}
+
+/// The `latency` command: re-run the 4P trend points with the latency
+/// observer registered and report per-transaction-type commit-latency
+/// quantiles as a table, CSV, and an ASCII chart (`latency_chart.txt`).
+fn latency(sweep: &Sweep, options: &SweepOptions, out: &Path) -> CmdResult {
+    use odb_experiments::chart::{ascii_chart, ChartOptions};
+    eprintln!("running the commit-latency study (trend warehouses, 4P)...");
+    let points = odb_experiments::latency::measure(&SystemConfig::xeon_quad(), sweep, options)?;
+    emit(
+        out,
+        "latency",
+        "Commit latency by transaction type (4P, log2-bucket upper bounds, ms)",
+        &odb_experiments::latency::table(&points),
+    )?;
+    let chart = ascii_chart(
+        "Commit latency vs warehouses (4P, ms)",
+        &odb_experiments::latency::series(&points),
+        ChartOptions::default(),
+    );
+    println!("{chart}");
+    std::fs::write(out.join("latency_chart.txt"), chart)?;
+    Ok(())
 }
 
 fn fig17(sweep: &Sweep, _options: &SweepOptions, out: &Path) -> CmdResult {

@@ -22,7 +22,7 @@
 #![warn(missing_docs)]
 
 use odb_core::config::DiskArrayConfig;
-use odb_des::SimTime;
+use odb_des::{IoKind, ObserverHub, SimEvent, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -57,6 +57,18 @@ pub enum RequestKind {
     LogWrite,
     /// Asynchronous dirty-page writeback by the database writer.
     PageWrite,
+}
+
+impl RequestKind {
+    /// The observer-seam mirror of this kind (the seam's event vocabulary
+    /// lives in `odb-des`, below this crate).
+    pub fn io_kind(self) -> IoKind {
+        match self {
+            RequestKind::Read => IoKind::Read,
+            RequestKind::LogWrite => IoKind::LogWrite,
+            RequestKind::PageWrite => IoKind::PageWrite,
+        }
+    }
 }
 
 /// Per-kind and per-spindle accounting.
@@ -117,14 +129,15 @@ impl Disk {
 ///
 /// ```
 /// use odb_core::config::DiskArrayConfig;
-/// use odb_des::SimTime;
+/// use odb_des::{ObserverHub, SimTime};
 /// use odb_iosim::{DiskArray, RequestKind};
 /// use rand::{rngs::SmallRng, SeedableRng};
 ///
 /// let cfg = DiskArrayConfig { disks: 26, service_time_ms: 8.0 };
 /// let mut array = DiskArray::new(cfg, 2)?;
 /// let mut rng = SmallRng::seed_from_u64(1);
-/// let done = array.submit(RequestKind::Read, 7, 8192, SimTime::ZERO, &mut rng);
+/// let mut hub = ObserverHub::new();
+/// let done = array.submit(RequestKind::Read, 7, 8192, SimTime::ZERO, &mut rng, &mut hub);
 /// assert!(done > SimTime::ZERO);
 /// # Ok::<(), odb_core::Error>(())
 /// ```
@@ -215,6 +228,11 @@ impl DiskArray {
     /// Submits a request at simulated time `now` and returns its
     /// completion time. `locator` selects the stripe for data requests
     /// (page number); it is ignored for log appends.
+    ///
+    /// The completion is announced on the observer seam at submission
+    /// time (service times are deterministic once the jitter is drawn,
+    /// so the completion instant is already known); the emitted
+    /// [`SimEvent::IoComplete`] carries that future instant in `done`.
     pub fn submit(
         &mut self,
         kind: RequestKind,
@@ -222,6 +240,7 @@ impl DiskArray {
         bytes: u64,
         now: SimTime,
         rng: &mut SmallRng,
+        hub: &mut ObserverHub,
     ) -> SimTime {
         let mean_ms = match kind {
             RequestKind::Read | RequestKind::PageWrite => self.config.service_time_ms,
@@ -276,6 +295,12 @@ impl DiskArray {
                 self.stats.page_bytes += bytes;
             }
         }
+        hub.emit_with(now, || SimEvent::IoComplete {
+            kind: kind.io_kind(),
+            locator,
+            bytes,
+            done,
+        });
         done
     }
 
@@ -315,6 +340,43 @@ mod tests {
         SmallRng::seed_from_u64(7)
     }
 
+    /// A fresh, empty hub (most tests don't observe).
+    fn nohub() -> ObserverHub {
+        ObserverHub::new()
+    }
+
+    #[test]
+    fn submit_announces_completion_on_the_seam() {
+        struct Sink(Vec<SimEvent>);
+        impl odb_des::SimObserver for Sink {
+            fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+                self.0.push(event.clone());
+            }
+        }
+        let mut a = array();
+        let mut r = rng();
+        let mut hub = ObserverHub::new();
+        hub.register(Box::new(Sink(Vec::new())));
+        let done = a.submit(
+            RequestKind::LogWrite,
+            0,
+            6144,
+            SimTime::from_micros(10),
+            &mut r,
+            &mut hub,
+        );
+        let events = &hub.get::<Sink>().unwrap().0;
+        assert_eq!(
+            events.as_slice(),
+            &[SimEvent::IoComplete {
+                kind: IoKind::LogWrite,
+                locator: 0,
+                bytes: 6144,
+                done,
+            }]
+        );
+    }
+
     #[test]
     fn construction_splits_spindles() {
         let a = array();
@@ -334,7 +396,7 @@ mod tests {
     fn idle_read_takes_about_one_service_time() {
         let mut a = array();
         let mut r = rng();
-        let done = a.submit(RequestKind::Read, 0, 8192, SimTime::ZERO, &mut r);
+        let done = a.submit(RequestKind::Read, 0, 8192, SimTime::ZERO, &mut r, &mut nohub());
         let ms = done.as_secs_f64() * 1e3;
         assert!(
             (8.0 * (1.0 - SERVICE_JITTER)..=8.0 * (1.0 + SERVICE_JITTER)).contains(&ms),
@@ -349,12 +411,12 @@ mod tests {
     fn log_writes_are_fast_and_round_robin() {
         let mut a = array();
         let mut r = rng();
-        let done = a.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut r);
+        let done = a.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut r, &mut nohub());
         let ms = done.as_secs_f64() * 1e3;
         assert!(ms < 8.0 * 0.12 * (1.0 + SERVICE_JITTER), "log append {ms} ms");
         // Two consecutive appends land on different log spindles, so the
         // second does not queue behind the first.
-        let done2 = a.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut r);
+        let done2 = a.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut r, &mut nohub());
         assert!(done2.as_secs_f64() * 1e3 < 2.0, "no queueing: {done2}");
         assert_eq!(a.stats().log_writes, 2);
     }
@@ -363,8 +425,8 @@ mod tests {
     fn same_stripe_queues_fifo() {
         let mut a = array();
         let mut r = rng();
-        let first = a.submit(RequestKind::Read, 5, 8192, SimTime::ZERO, &mut r);
-        let second = a.submit(RequestKind::Read, 5 + 24, 8192, SimTime::ZERO, &mut r);
+        let first = a.submit(RequestKind::Read, 5, 8192, SimTime::ZERO, &mut r, &mut nohub());
+        let second = a.submit(RequestKind::Read, 5 + 24, 8192, SimTime::ZERO, &mut r, &mut nohub());
         assert!(second > first, "same spindle serializes");
         assert!(a.stats().read_wait_ns > 0, "second request waited");
         assert!(a.stats().mean_read_wait_ms() > 0.0);
@@ -376,7 +438,7 @@ mod tests {
         let mut r = rng();
         let mut max_done = SimTime::ZERO;
         for page in 0..24u64 {
-            let done = a.submit(RequestKind::Read, page, 8192, SimTime::ZERO, &mut r);
+            let done = a.submit(RequestKind::Read, page, 8192, SimTime::ZERO, &mut r, &mut nohub());
             max_done = max_done.max(done);
         }
         // 24 reads over 24 spindles: all finish within ~one service time.
@@ -392,7 +454,7 @@ mod tests {
         let mut latest = SimTime::ZERO;
         for i in 0..offered {
             let now = SimTime::from_nanos(i * 1_000_000_000 / offered);
-            latest = latest.max(a.submit(RequestKind::Read, i, 8192, now, &mut r));
+            latest = latest.max(a.submit(RequestKind::Read, i, 8192, now, &mut r, &mut nohub()));
         }
         // Completing the backlog takes ~2 seconds: the array is saturated.
         let took = latest.as_secs_f64();
@@ -411,13 +473,13 @@ mod tests {
     fn reset_stats_clears_counters_only() {
         let mut a = array();
         let mut r = rng();
-        a.submit(RequestKind::PageWrite, 3, 8192, SimTime::ZERO, &mut r);
+        a.submit(RequestKind::PageWrite, 3, 8192, SimTime::ZERO, &mut r, &mut nohub());
         assert_eq!(a.stats().page_writes, 1);
         assert_eq!(a.stats().page_bytes, 8192);
         a.reset_stats();
         assert_eq!(a.stats(), &ArrayStats::default());
         // The spindle is still busy: a new request on the same stripe queues.
-        let done = a.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut r);
+        let done = a.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut r, &mut nohub());
         assert!(a.stats().read_wait_ns > 0 || done.as_secs_f64() > 0.004);
     }
 
@@ -433,7 +495,7 @@ mod tests {
             // Pile 20 requests onto one spindle at t = 0.
             let mut last = SimTime::ZERO;
             for i in 0..20u64 {
-                last = last.max(a.submit(RequestKind::Read, i * 24, 8192, SimTime::ZERO, &mut r));
+                last = last.max(a.submit(RequestKind::Read, i * 24, 8192, SimTime::ZERO, &mut r, &mut nohub()));
             }
             last
         };
@@ -456,12 +518,12 @@ mod tests {
         assert_eq!(fifo.scheduler(), Scheduler::Fifo);
         assert_eq!(scan.scheduler(), Scheduler::Scan);
         // Same RNG stream: an isolated request costs the same either way.
-        let a = fifo.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut rng());
-        let b = scan.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut rng());
+        let a = fifo.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut rng(), &mut nohub());
+        let b = scan.submit(RequestKind::Read, 3, 8192, SimTime::ZERO, &mut rng(), &mut nohub());
         assert_eq!(a, b, "no queue, no amortization");
         // Log appends never amortize (already sequential).
-        let c = fifo.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut rng());
-        let d = scan.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut rng());
+        let c = fifo.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut rng(), &mut nohub());
+        let d = scan.submit(RequestKind::LogWrite, 0, 6144, SimTime::ZERO, &mut rng(), &mut nohub());
         assert_eq!(c, d);
     }
 

@@ -28,7 +28,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bus;
 pub mod cache;

@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use odb_des::SimTime;
+use odb_des::{ObserverHub, SimEvent, SimTime};
 use std::collections::VecDeque;
 
 /// Identifies a simulated process.
@@ -124,13 +124,21 @@ impl RunQueue {
     }
 
     /// Gives `cpu` the next ready process, recording a context switch when
-    /// the CPU changes occupant. Returns the dispatched process, or `None`
-    /// when the queue is empty (the CPU idles).
-    pub fn dispatch(&mut self, cpu: usize) -> Option<ProcessId> {
+    /// the CPU changes occupant and announcing it on the observer seam
+    /// (`now` stamps the emitted [`SimEvent::ContextSwitch`]). Returns the
+    /// dispatched process, or `None` when the queue is empty (the CPU
+    /// idles).
+    pub fn dispatch(
+        &mut self,
+        cpu: usize,
+        now: SimTime,
+        hub: &mut ObserverHub,
+    ) -> Option<ProcessId> {
         debug_assert!(self.running[cpu].is_none(), "stop before dispatching");
         let next = self.ready.pop_front()?;
         self.running[cpu] = Some(next);
         self.context_switches += 1;
+        hub.emit_with(now, || SimEvent::ContextSwitch { cpu, pid: next.0 });
         Some(next)
     }
 
@@ -236,6 +244,11 @@ impl CpuAccounting {
 mod tests {
     use super::*;
 
+    /// Dispatch with no observers listening (most tests don't care).
+    fn dispatch(q: &mut RunQueue, cpu: usize) -> Option<ProcessId> {
+        q.dispatch(cpu, SimTime::ZERO, &mut ObserverHub::new())
+    }
+
     #[test]
     fn dispatch_is_fifo_and_counts_switches() {
         let mut q = RunQueue::new(2);
@@ -243,8 +256,8 @@ mod tests {
         q.make_ready(ProcessId(2));
         q.make_ready(ProcessId(3));
         assert_eq!(q.ready_len(), 3);
-        assert_eq!(q.dispatch(0), Some(ProcessId(1)));
-        assert_eq!(q.dispatch(1), Some(ProcessId(2)));
+        assert_eq!(dispatch(&mut q, 0), Some(ProcessId(1)));
+        assert_eq!(dispatch(&mut q, 1), Some(ProcessId(2)));
         assert_eq!(q.running_on(0), Some(ProcessId(1)));
         assert_eq!(q.context_switches(), 2);
         assert_eq!(q.ready_len(), 1);
@@ -255,26 +268,52 @@ mod tests {
         let mut q = RunQueue::new(1);
         q.make_ready(ProcessId(1));
         q.make_ready(ProcessId(2));
-        q.dispatch(0);
+        dispatch(&mut q, 0);
         assert_eq!(q.stop(0, StopReason::Blocked), Some(ProcessId(1)));
         assert_eq!(q.blocking_switches(), 1);
         assert_eq!(q.ready_len(), 1, "blocked pid is NOT requeued");
-        q.dispatch(0);
+        dispatch(&mut q, 0);
         assert_eq!(q.stop(0, StopReason::Preempted), Some(ProcessId(2)));
         assert_eq!(q.ready_len(), 1, "preempted pid IS requeued");
         // Finishing removes without requeue.
-        q.dispatch(0);
+        dispatch(&mut q, 0);
         assert_eq!(q.stop(0, StopReason::Finished), Some(ProcessId(2)));
         assert_eq!(q.ready_len(), 0);
-        assert_eq!(q.dispatch(0), None, "idle CPU");
+        assert_eq!(dispatch(&mut q, 0), None, "idle CPU");
         assert_eq!(q.stop(0, StopReason::Blocked), None);
+    }
+
+    #[test]
+    fn dispatch_announces_context_switches() {
+        struct Switches(Vec<(usize, u32)>);
+        impl odb_des::SimObserver for Switches {
+            fn on_event(&mut self, _now: SimTime, event: &SimEvent) {
+                if let SimEvent::ContextSwitch { cpu, pid } = *event {
+                    self.0.push((cpu, pid));
+                }
+            }
+        }
+        let mut hub = ObserverHub::new();
+        hub.register(Box::new(Switches(Vec::new())));
+        let mut q = RunQueue::new(2);
+        q.make_ready(ProcessId(7));
+        q.make_ready(ProcessId(8));
+        q.dispatch(1, SimTime::from_micros(3), &mut hub);
+        q.dispatch(0, SimTime::from_micros(4), &mut hub);
+        // An empty queue dispatches nothing and must not emit.
+        q.stop(0, StopReason::Finished);
+        assert_eq!(q.dispatch(0, SimTime::from_micros(5), &mut hub), None);
+        assert_eq!(
+            hub.get::<Switches>().map(|s| s.0.as_slice()),
+            Some(&[(1usize, 7u32), (0, 8)][..])
+        );
     }
 
     #[test]
     fn reset_stats_keeps_processes() {
         let mut q = RunQueue::new(1);
         q.make_ready(ProcessId(9));
-        q.dispatch(0);
+        dispatch(&mut q, 0);
         q.reset_stats();
         assert_eq!(q.context_switches(), 0);
         assert_eq!(q.blocking_switches(), 0);
