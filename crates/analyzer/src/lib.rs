@@ -29,6 +29,10 @@
 //! * **stray files** ([`lints::stray_files`]) — editor/backup droppings
 //!   (`*.tmp`, `*.bak`, …) anywhere in the repository, and orphan `.rs`
 //!   modules under any crate's `src/` that no `mod` declaration reaches.
+//! * **hot-path allocation** ([`lints::hot_path_alloc`]) — heap
+//!   allocation (`collect()`, `to_vec()`, `Vec::new()`) inside the
+//!   audited per-reference functions of `odb-memsim`'s characterization
+//!   loop; deliberate cases live in `crates/analyzer/hot_path_allow.txt`.
 //!
 //! Escape hatch: a `// analyzer:allow(<lint>)` comment on the offending
 //! line, or on the line directly above it, suppresses that lint there.
@@ -82,6 +86,7 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     lints::raw_time(&model, &mut violations);
     lints::observer_seam(&model, &mut violations);
     lints::stray_files(&model, &mut violations);
+    lints::hot_path_alloc(&model, &mut violations);
 
     let baseline_path = baseline_path(root);
     match baseline::Baseline::load(&baseline_path) {

@@ -1,4 +1,4 @@
-//! The five lint passes.
+//! The six lint passes.
 //!
 //! Each pass pushes [`Violation`]s into a shared vector; the panic pass
 //! additionally returns per-crate site counts for the baseline ratchet.
@@ -262,6 +262,168 @@ fn mark_cfg_feature(code_lines: &[&str]) -> Vec<bool> {
             }
         }
         if open_depth.is_some() || pending_attr {
+            out[i] = true;
+        }
+    }
+    out
+}
+
+/// The audited per-reference hot-path functions of `odb-memsim`, as
+/// `(file, function names)` pairs. These run once (or more) per sampled
+/// memory reference — billions of times per sweep — so a heap
+/// allocation inside them is a per-reference cost by construction.
+pub const HOT_PATH_AUDITED: &[(&str, &[&str])] = &[
+    (
+        "crates/memsim/src/trace.rs",
+        &[
+            "interleave",
+            "run_chunk",
+            "user_data_ref",
+            "os_data_ref",
+            "sync_directory",
+            "continue_run",
+            "draw_dwell",
+        ],
+    ),
+    ("crates/memsim/src/cache.rs", &["access"]),
+    (
+        "crates/memsim/src/hierarchy.rs",
+        &["fetch_code", "access_data", "descend"],
+    ),
+    ("crates/memsim/src/dist.rs", &["sample", "search_table"]),
+    ("crates/memsim/src/tlb.rs", &["access"]),
+    (
+        "crates/memsim/src/coherence.rs",
+        &["write_slice", "has_remote_holders"],
+    ),
+];
+
+/// Allocation tokens forbidden in the audited hot-path functions.
+const ALLOC_TOKENS: &[&str] = &[".collect(", ".collect::<", ".to_vec()", "Vec::new()"];
+
+/// The allowlist for deliberate hot-path allocations, relative to the
+/// workspace root. One `path:function` entry per line; `#` comments.
+pub const HOT_PATH_ALLOWLIST: &str = "crates/analyzer/hot_path_allow.txt";
+
+/// Forbids per-reference heap allocation (`collect()`, `to_vec()`,
+/// `Vec::new()`) inside the [`HOT_PATH_AUDITED`] functions — the inner
+/// loop the whole sweep's wall-clock stands on. Deliberate cases go in
+/// the [`HOT_PATH_ALLOWLIST`] file (`path:function` per line) or carry
+/// a `// analyzer:allow(hot_path_alloc)` line escape.
+pub fn hot_path_alloc(model: &WorkspaceModel, violations: &mut Vec<Violation>) {
+    let allow = load_hot_path_allowlist(&model.root.join(HOT_PATH_ALLOWLIST));
+    hot_path_alloc_with(model, &allow, violations);
+}
+
+/// Parses the allowlist file into `(path, function)` pairs; a missing
+/// or unreadable file is an empty allowlist (the lint then runs at full
+/// strictness rather than silently passing).
+fn load_hot_path_allowlist(path: &std::path::Path) -> HashSet<(String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashSet::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let entry = line.split('#').next().unwrap_or("").trim();
+            if entry.is_empty() {
+                return None;
+            }
+            let (path, func) = entry.rsplit_once(':')?;
+            Some((path.trim().to_owned(), func.trim().to_owned()))
+        })
+        .collect()
+}
+
+/// [`hot_path_alloc`] against an explicit allowlist (unit-testable).
+fn hot_path_alloc_with(
+    model: &WorkspaceModel,
+    allow: &HashSet<(String, String)>,
+    violations: &mut Vec<Violation>,
+) {
+    let Some(krate) = model.get("memsim") else { return };
+    for (path, functions) in HOT_PATH_AUDITED {
+        let Some(file) = krate.src_files.iter().find(|f| f.rel_path == *path) else {
+            continue;
+        };
+        let audited: Vec<&str> = functions
+            .iter()
+            .copied()
+            .filter(|f| !allow.contains(&((*path).to_owned(), (*f).to_owned())))
+            .collect();
+        if audited.is_empty() {
+            continue;
+        }
+        let code_lines: Vec<&str> = file.lines.iter().map(|l| l.code.as_str()).collect();
+        let in_hot = mark_fn_bodies(&code_lines, &audited);
+        for (i, line) in file.lines.iter().enumerate() {
+            if !in_hot[i] || line.in_test || line.allows("hot_path_alloc") {
+                continue;
+            }
+            if ALLOC_TOKENS.iter().any(|t| line.code.contains(t)) {
+                violations.push(Violation::new(
+                    Lint::HotPathAlloc,
+                    &file.rel_path,
+                    i + 1,
+                    "heap allocation (`collect()`/`to_vec()`/`Vec::new()`) inside a \
+                     per-reference hot-path function; hoist the buffer out of the \
+                     loop, or record the exception in crates/analyzer/\
+                     hot_path_allow.txt (or annotate with \
+                     `// analyzer:allow(hot_path_alloc)` and justify)"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Marks which lines sit inside the body of any `fn <name>(`/`fn
+/// <name><` among `names`, with the same brace-walking approach (and
+/// limitations) as [`mark_cfg_feature`]. A bodyless declaration (trait
+/// method signature) opens nothing.
+fn mark_fn_bodies(code_lines: &[&str], names: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the innermost audited fn's body opened, if any.
+    let mut open_depth: Option<i64> = None;
+    let mut pending = false;
+    for (i, raw) in code_lines.iter().enumerate() {
+        if open_depth.is_some() {
+            out[i] = true;
+        }
+        if open_depth.is_none()
+            && !pending
+            && names.iter().any(|n| {
+                raw.contains(&format!("fn {n}(")) || raw.contains(&format!("fn {n}<"))
+            })
+        {
+            pending = true;
+            out[i] = true;
+        }
+        for c in raw.chars() {
+            match c {
+                '{' => {
+                    if pending && open_depth.is_none() {
+                        open_depth = Some(depth);
+                        pending = false;
+                        out[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open_depth == Some(depth) {
+                        open_depth = None;
+                        out[i] = true;
+                    }
+                }
+                // Trait-method signature without a body.
+                ';' if pending && open_depth.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        if open_depth.is_some() {
             out[i] = true;
         }
     }

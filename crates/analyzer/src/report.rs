@@ -15,6 +15,8 @@ pub enum Lint {
     ObserverSeam,
     /// Stray file or orphan module.
     StrayFile,
+    /// Heap allocation in an audited per-reference hot-path function.
+    HotPathAlloc,
 }
 
 impl Lint {
@@ -26,6 +28,7 @@ impl Lint {
             Lint::RawTime => "raw_time",
             Lint::ObserverSeam => "observer_seam",
             Lint::StrayFile => "stray_file",
+            Lint::HotPathAlloc => "hot_path_alloc",
         }
     }
 }

@@ -263,6 +263,70 @@ fn missing_baseline_with_sites_trips() {
 }
 
 #[test]
+fn seeded_hot_path_allocation_trips() {
+    let t = clean_tree("hotalloc");
+    t.write(
+        "crates/memsim/src/lib.rs",
+        "//! Minimal.\npub mod trace;\npub fn touch() -> u32 { 1 }\n",
+    );
+    t.write(
+        "crates/memsim/src/trace.rs",
+        "//! Doc.\npub fn run_chunk(hs: &mut [H]) {\n\
+         \x20   let refs: Vec<&mut H> = hs.iter_mut().collect();\n\
+         \x20   drop(refs);\n}\n",
+    );
+    let fired = lints_fired(&t.root);
+    assert!(fired.contains(&Lint::HotPathAlloc), "fired: {fired:?}");
+
+    // The same allocation outside an audited function is fine, as is an
+    // audited function exempted by the allowlist file.
+    let t2 = clean_tree("hotalloc-ok");
+    t2.write(
+        "crates/memsim/src/lib.rs",
+        "//! Minimal.\npub mod trace;\npub fn touch() -> u32 { 1 }\n",
+    );
+    t2.write(
+        "crates/memsim/src/trace.rs",
+        "//! Doc.\npub fn setup(hs: &mut [H]) -> Vec<&mut H> {\n\
+         \x20   hs.iter_mut().collect()\n}\n\
+         pub fn run_chunk(hs: &mut [H]) {\n\
+         \x20   let refs: Vec<&mut H> = hs.iter_mut().collect();\n\
+         \x20   drop(refs);\n}\n",
+    );
+    t2.write(
+        "crates/analyzer/hot_path_allow.txt",
+        "# deliberate: exercised by the seeded test\n\
+         crates/memsim/src/trace.rs:run_chunk # reason\n",
+    );
+    let analysis = odb_analyzer::analyze(&t2.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+
+    // The line escape works without an allowlist entry.
+    let t3 = clean_tree("hotalloc-escape");
+    t3.write(
+        "crates/memsim/src/lib.rs",
+        "//! Minimal.\npub mod trace;\npub fn touch() -> u32 { 1 }\n",
+    );
+    t3.write(
+        "crates/memsim/src/trace.rs",
+        "//! Doc.\npub fn run_chunk(hs: &mut [H]) {\n\
+         \x20   // analyzer:allow(hot_path_alloc) — justified\n\
+         \x20   let refs: Vec<&mut H> = hs.iter_mut().collect();\n\
+         \x20   drop(refs);\n}\n",
+    );
+    let analysis = odb_analyzer::analyze(&t3.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
 fn update_baseline_then_clean() {
     let t = clean_tree("update");
     fs::remove_file(t.root.join("crates/analyzer/baseline.toml")).expect("remove baseline");

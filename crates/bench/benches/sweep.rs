@@ -4,7 +4,14 @@
 //! Times the full 27-point `paper_ladder()` sweep at quick and standard
 //! fidelity, each at `jobs = 1` and `jobs = N`, asserts that the
 //! parallel and sequential quick sweeps are **byte-identical** (the
-//! determinism smoke test CI leans on), and emits `BENCH_sweep.json`.
+//! determinism smoke test CI leans on), and emits `BENCH_sweep.json`
+//! with per-phase wall-clock (`phase_seconds`: characterize vs engine
+//! DES) per entry plus the `refs_per_sec` substrate microbenches (the
+//! three-level hierarchy walk and the Zipf draw path).
+//!
+//! A baseline whose `host_cores` is 1 is refused when the output lands
+//! in `results/` (the parallel-speedup ratchet would be vacuous) unless
+//! `ODB_BENCH_ALLOW_1CORE=1` is set.
 //! Two optional gates, both exiting nonzero on failure:
 //!
 //! * `--min-speedup RATIO` — host-relative, computed within this run:
@@ -25,9 +32,15 @@
 //!     [--baseline FILE] [--max-regress FRACTION]
 //! ```
 
+use odb_bench::harness::{black_box, measure_ns};
 use odb_core::config::SystemConfig;
+use odb_engine::PhaseSeconds;
 use odb_experiments::persist::sweep_to_csv;
 use odb_experiments::runner::{Sweep, SweepOptions};
+use odb_memsim::dist::Zipf;
+use odb_memsim::hierarchy::{CpuHierarchy, Space};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// One timed sweep configuration.
@@ -36,6 +49,33 @@ struct Entry {
     jobs: usize,
     points: usize,
     seconds: f64,
+    /// Wall-clock per simulation phase, summed over the sweep's rows
+    /// (probe runs included) — tells future perf work which phase to
+    /// ratchet.
+    phase: PhaseSeconds,
+}
+
+/// The `refs_per_sec` throughput microbenches: the two per-reference
+/// code paths the characterization hot loop is made of, reported as
+/// references (draws) per second so the artifact captures substrate
+/// throughput alongside end-to-end sweep wall-clock.
+fn refs_per_sec() -> Vec<(&'static str, f64)> {
+    let zipf = Zipf::new(1 << 16, 0.9).expect("zipf");
+    // Three-level hierarchy walk: L1→L2→L3 data reference with a
+    // Zipf-distributed address stream, the shape `trace.rs` drives.
+    let mut hierarchy = CpuHierarchy::new(&SystemConfig::xeon_quad()).expect("hierarchy");
+    let mut rng = SmallRng::seed_from_u64(0xBE_11C4);
+    let (walk_ns, _) = measure_ns(|| {
+        let addr = zipf.sample(&mut rng) * 64;
+        black_box(hierarchy.access_data(addr, false, Space::User))
+    });
+    // The Zipf draw alone: accelerated CDF search plus RNG.
+    let mut rng = SmallRng::seed_from_u64(0xD1_57);
+    let (draw_ns, _) = measure_ns(|| black_box(zipf.sample(&mut rng)));
+    vec![
+        ("hierarchy_walk", 1e9 / walk_ns.max(1e-3)),
+        ("zipf_draw", 1e9 / draw_ns.max(1e-3)),
+    ]
 }
 
 /// Resolves `--out` / `--baseline` paths: `cargo bench` runs this
@@ -121,6 +161,27 @@ fn main() {
     }
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let jobs_n = jobs.unwrap_or(host_cores).max(1);
+    let out_path = workspace_path(&out);
+    // A baseline recorded on a 1-core host is worse than none: jobs=N
+    // can only tie jobs=1, so the checked-in `--min-speedup` ratchet
+    // becomes vacuous (the seed baseline showed speedup 0.818). Refuse
+    // to record one into `results/` — the ratchet's home — unless the
+    // operator explicitly insists; checked before the minutes-long
+    // sweep so the refusal is cheap. `target/` scratch output (what
+    // `ci.sh` writes) is unaffected.
+    if host_cores == 1
+        && out_path.starts_with(workspace_path("results"))
+        && std::env::var("ODB_BENCH_ALLOW_1CORE").as_deref() != Ok("1")
+    {
+        eprintln!(
+            "refusing to record a host_cores=1 baseline at {}: \
+             the parallel-speedup ratchet would be vacuous. \
+             Rerun on a multi-core host, or set ODB_BENCH_ALLOW_1CORE=1 \
+             to record it anyway.",
+            out_path.display()
+        );
+        std::process::exit(1);
+    }
 
     let system = SystemConfig::xeon_quad();
     let mut entries: Vec<Entry> = Vec::new();
@@ -150,11 +211,16 @@ fn main() {
                     "jobs={j} {name} sweep is not byte-identical to jobs=1"
                 ),
             }
+            let mut phase = PhaseSeconds::default();
+            for row in sweep.iter() {
+                phase.accumulate(&row.phase_seconds);
+            }
             entries.push(Entry {
                 sweep: name,
                 jobs: j,
                 points: sweep.len(),
                 seconds,
+                phase,
             });
             if jobs_n == 1 {
                 break; // jobs=N would repeat the jobs=1 measurement
@@ -162,8 +228,13 @@ fn main() {
         }
     }
 
-    let json = render_json(host_cores, jobs_n, &entries);
-    let out_path = workspace_path(&out);
+    eprintln!("timing the refs_per_sec microbenches...");
+    let rates = refs_per_sec();
+    for (name, rate) in &rates {
+        eprintln!("  {name}: {rate:.0} refs/s");
+    }
+
+    let json = render_json(host_cores, jobs_n, &entries, &rates);
     if let Some(parent) = out_path.parent() {
         std::fs::create_dir_all(parent).expect("create output directory");
     }
@@ -236,12 +307,25 @@ fn main() {
 
 /// Renders the artifact: one entry object per line so the parser below
 /// (and humans diffing the checked-in baseline) can work line-by-line.
-fn render_json(host_cores: usize, jobs_n: usize, entries: &[Entry]) -> String {
+fn render_json(
+    host_cores: usize,
+    jobs_n: usize,
+    entries: &[Entry],
+    rates: &[(&'static str, f64)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"odb-bench-sweep-v1\",\n");
     s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     s.push_str(&format!("  \"jobs_n\": {jobs_n},\n"));
+    s.push_str("  \"refs_per_sec\": {");
+    for (i, (name, rate)) in rates.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{name}\": {rate:.0}"));
+    }
+    s.push_str("},\n");
     for (fidelity, key) in [("quick", "speedup_quick"), ("standard", "speedup_standard")] {
         let time_at = |jobs: usize| {
             entries
@@ -258,11 +342,14 @@ fn render_json(host_cores: usize, jobs_n: usize, entries: &[Entry]) -> String {
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"sweep\": \"{}\", \"jobs\": {}, \"points\": {}, \"seconds\": {:.3}}}{}\n",
+            "    {{\"sweep\": \"{}\", \"jobs\": {}, \"points\": {}, \"seconds\": {:.3}, \
+             \"phase_seconds\": {{\"characterize\": {:.3}, \"engine\": {:.3}}}}}{}\n",
             e.sweep,
             e.jobs,
             e.points,
             e.seconds,
+            e.phase.characterize,
+            e.phase.engine,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

@@ -16,13 +16,16 @@ const TARGET_BATCH_NANOS: f64 = 50_000_000.0;
 /// Measured batches per benchmark (the minimum is reported).
 const BATCHES: u32 = 3;
 
-/// Times `f` and prints `<name>: <ns>/iter`.
+/// Times `f` and returns `(best per-iteration nanoseconds, iterations
+/// per measured batch)` — the measurement behind [`bench`], exposed so
+/// callers that emit machine-readable artifacts (the sweep bench's
+/// `refs_per_sec` section) can reuse the calibrated loop.
 ///
 /// Calibration doubles as warm-up: the batch size grows by 4× until one
 /// batch runs ≥10 ms, then three batches sized for ~50 ms each are
 /// measured and the fastest per-iteration time wins (the usual defense
 /// against scheduling noise on a shared host).
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+pub fn measure_ns<R>(mut f: impl FnMut() -> R) -> (f64, u64) {
     let mut batch: u64 = 1;
     let per_iter_estimate = loop {
         let started = Instant::now();
@@ -44,6 +47,12 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         }
         best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
     }
+    (best, iters)
+}
+
+/// Times `f` and prints `<name>: <ns>/iter` (see [`measure_ns`]).
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) {
+    let (best, iters) = measure_ns(f);
     if best >= 1_000_000.0 {
         println!("{name}: {:.3} ms/iter ({iters} iters/batch)", best / 1e6);
     } else {

@@ -61,5 +61,5 @@ pub mod system;
 pub mod txn;
 pub mod writers;
 
-pub use measure::{OdbSimulator, SimOptions};
+pub use measure::{OdbSimulator, PhaseSeconds, SimOptions};
 pub use observe::{LatencyObserver, LatencyStats, LogHistogram};

@@ -46,6 +46,18 @@ pub struct SimOptions {
     pub emon_noise: bool,
     /// Distinct cache lines emitted per page touch in characterization.
     pub lines_per_touch: u32,
+    /// Convergence-based early exit for the fixed-point loop: once two
+    /// consecutive rounds' characterization rates agree within
+    /// [`SimOptions::early_exit_tolerance`], later rounds reuse the last
+    /// characterization instead of re-running the cache simulation.
+    ///
+    /// **Off by default**: reusing a characterization changes which seeds
+    /// feed the remaining rounds, so enabling this trades bit-stability of
+    /// checked-in artifacts for speed. The DES rounds always run.
+    pub early_exit: bool,
+    /// Maximum relative difference between consecutive rounds' rates for
+    /// [`SimOptions::early_exit`] to engage.
+    pub early_exit_tolerance: f64,
     /// System-model tunables.
     pub system: SystemParams,
 }
@@ -62,6 +74,8 @@ impl SimOptions {
             iterations: 1,
             emon_noise: false,
             lines_per_touch: 4,
+            early_exit: false,
+            early_exit_tolerance: 0.02,
             system: SystemParams::default(),
         }
     }
@@ -78,6 +92,8 @@ impl SimOptions {
             iterations: 2,
             emon_noise: false,
             lines_per_touch: 4,
+            early_exit: false,
+            early_exit_tolerance: 0.02,
             system: SystemParams::default(),
         }
     }
@@ -112,6 +128,40 @@ impl SimOptions {
         self.emon_noise = true;
         self
     }
+
+    /// Returns a copy with fixed-point early exit enabled at `tolerance`
+    /// relative rate agreement. See [`SimOptions::early_exit`] for the
+    /// bit-stability caveat.
+    #[must_use]
+    pub fn with_early_exit(mut self, tolerance: f64) -> Self {
+        self.early_exit = true;
+        self.early_exit_tolerance = tolerance;
+        self
+    }
+}
+
+/// `true` when every per-space rate in `b` is within `tol` relative
+/// difference of its counterpart in `a` (absolute floor `1e-9` so
+/// near-zero rates compare sanely).
+fn rates_converged(
+    a: &odb_memsim::rates::EventRates,
+    b: &odb_memsim::rates::EventRates,
+    tol: f64,
+) -> bool {
+    fn close(x: f64, y: f64, tol: f64) -> bool {
+        (x - y).abs() <= tol * x.abs().max(y.abs()).max(1e-9)
+    }
+    let space = |a: &odb_memsim::rates::SpaceRates, b: &odb_memsim::rates::SpaceRates| {
+        close(a.tc_miss, b.tc_miss, tol)
+            && close(a.l2_miss, b.l2_miss, tol)
+            && close(a.l3_miss, b.l3_miss, tol)
+            && close(a.l3_coherence_miss, b.l3_coherence_miss, tol)
+            && close(a.l3_writeback, b.l3_writeback, tol)
+            && close(a.tlb_miss, b.tlb_miss, tol)
+            && close(a.branch_mispred, b.branch_mispred, tol)
+            && close(a.other_stall_cpi, b.other_stall_cpi, tol)
+    };
+    space(&a.user, &b.user) && space(&a.os, &b.os)
 }
 
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation used to
@@ -137,6 +187,25 @@ const _: () = {
     assert_send_sync::<Characterization>();
 };
 
+/// Wall-clock seconds a run spent in each phase. Diagnostic only — never
+/// part of [`Measurement`] or any persisted artifact, so recording it
+/// cannot perturb the drift-gated results.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSeconds {
+    /// Cache characterization (the odb-memsim trace loop).
+    pub characterize: f64,
+    /// Full-system discrete-event simulation (warm-up + measurement).
+    pub engine: f64,
+}
+
+impl PhaseSeconds {
+    /// Sums another run's phase times into this one (sweep aggregation).
+    pub fn accumulate(&mut self, other: &PhaseSeconds) {
+        self.characterize += other.characterize;
+        self.engine += other.engine;
+    }
+}
+
 /// Everything a run produced, for analyses that need more than the
 /// measurement row (coherence counters, raw rates).
 #[derive(Debug, Clone)]
@@ -149,6 +218,11 @@ pub struct RunArtifacts {
     pub characterization: Characterization,
     /// The final workload estimates (converged feedback terms).
     pub estimates: WorkloadEstimates,
+    /// Wall-clock spent characterizing vs simulating.
+    pub phase_seconds: PhaseSeconds,
+    /// Fixed-point rounds that ran the cache characterization; fewer than
+    /// `iterations` when [`SimOptions::early_exit`] engaged.
+    pub rounds_characterized: u32,
 }
 
 /// One-configuration simulator facade.
@@ -171,6 +245,17 @@ impl OdbSimulator {
             return Err(odb_core::Error::InvalidConfig {
                 field: "iterations",
                 reason: "need at least one characterize/simulate round".to_owned(),
+            });
+        }
+        if options.early_exit
+            && !(options.early_exit_tolerance.is_finite() && options.early_exit_tolerance >= 0.0)
+        {
+            return Err(odb_core::Error::InvalidConfig {
+                field: "early_exit_tolerance",
+                reason: format!(
+                    "must be finite and >= 0, got {}",
+                    options.early_exit_tolerance
+                ),
             });
         }
         Ok(Self { config, options })
@@ -224,17 +309,41 @@ impl OdbSimulator {
         let mut last: Option<(Measurement, Characterization)> = None;
         let mut extra = Some(observers);
         let mut sampled: Option<(SpaceCounts, SpaceCounts)> = None;
+        let mut phase = PhaseSeconds::default();
+        let mut rounds_characterized = 0u32;
+        let mut prev_rates: Option<odb_memsim::rates::EventRates> = None;
+        let mut converged: Option<Characterization> = None;
 
         for round in 0..o.iterations {
-            let params = trace_params(&self.config, &estimates);
-            let characterizer = Characterizer::new(self.config.system.clone(), params)?;
-            let sampler = template_sampler.clone();
-            let characterization = characterizer.run(
-                |_pid| OdbRefSource::with_sampler(sampler.clone(), o.lines_per_touch),
-                o.seed ^ (round as u64).wrapping_mul(0x9E37_79B9),
-                o.char_warmup_instructions,
-                o.char_measure_instructions,
-            )?;
+            let characterization = if let Some(c) = &converged {
+                // Early exit engaged on an earlier round: the rates are at
+                // their fixed point, so re-characterizing would reproduce
+                // them (within tolerance) at full cost. Reuse.
+                c.clone()
+            } else {
+                let started = std::time::Instant::now();
+                let params = trace_params(&self.config, &estimates);
+                let characterizer = Characterizer::new(self.config.system.clone(), params)?;
+                let sampler = template_sampler.clone();
+                let c = characterizer.run(
+                    |_pid| OdbRefSource::with_sampler(sampler.clone(), o.lines_per_touch),
+                    o.seed ^ (round as u64).wrapping_mul(0x9E37_79B9),
+                    o.char_warmup_instructions,
+                    o.char_measure_instructions,
+                )?;
+                phase.characterize += started.elapsed().as_secs_f64();
+                rounds_characterized += 1;
+                if o.early_exit {
+                    if let Some(prev) = &prev_rates {
+                        if rates_converged(prev, &c.rates, o.early_exit_tolerance) {
+                            converged = Some(c.clone());
+                        }
+                    }
+                    prev_rates = Some(c.rates);
+                }
+                c
+            };
+            let engine_started = std::time::Instant::now();
             let mut sim = SystemSim::new(
                 self.config.clone(),
                 o.system,
@@ -272,6 +381,7 @@ impl OdbSimulator {
                     ));
                 }
             }
+            phase.engine += engine_started.elapsed().as_secs_f64();
             estimates = WorkloadEstimates::from_measurement(&measurement);
             last = Some((measurement, characterization));
         }
@@ -322,6 +432,8 @@ impl OdbSimulator {
             true_measurement,
             characterization,
             estimates,
+            phase_seconds: phase,
+            rounds_characterized,
         })
     }
 }
@@ -375,6 +487,53 @@ mod tests {
         let mut opts = SimOptions::quick();
         opts.iterations = 0;
         assert!(OdbSimulator::new(config(10, 8, 1), opts).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_early_exit_tolerance() {
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let opts = SimOptions::quick().with_early_exit(bad);
+            assert!(OdbSimulator::new(config(10, 8, 1), opts).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn early_exit_skips_converged_characterizations() {
+        let mut opts = SimOptions::quick();
+        opts.iterations = 3;
+        // Without early exit every round characterizes.
+        let full = OdbSimulator::new(config(25, 12, 2), opts.clone())
+            .unwrap()
+            .run_detailed()
+            .unwrap();
+        assert_eq!(full.rounds_characterized, 3);
+        // A generous tolerance converges after the second round, so the
+        // third reuses its characterization.
+        let eager = OdbSimulator::new(config(25, 12, 2), opts.clone().with_early_exit(0.75))
+            .unwrap()
+            .run_detailed()
+            .unwrap();
+        assert_eq!(eager.rounds_characterized, 2);
+        // Zero tolerance never converges (round seeds differ).
+        let strict = OdbSimulator::new(config(25, 12, 2), opts.with_early_exit(0.0))
+            .unwrap()
+            .run_detailed()
+            .unwrap();
+        assert_eq!(strict.rounds_characterized, 3);
+        // The reused-characterization run still produces a sane row.
+        assert!(eager.measurement.transactions > 100);
+    }
+
+    #[test]
+    fn phase_seconds_cover_both_phases() {
+        let sim = OdbSimulator::new(config(25, 12, 2), SimOptions::quick()).unwrap();
+        let art = sim.run_detailed().unwrap();
+        assert!(art.phase_seconds.characterize > 0.0);
+        assert!(art.phase_seconds.engine > 0.0);
+        let mut sum = super::PhaseSeconds::default();
+        sum.accumulate(&art.phase_seconds);
+        sum.accumulate(&art.phase_seconds);
+        assert!((sum.engine - 2.0 * art.phase_seconds.engine).abs() < 1e-12);
     }
 
     #[test]

@@ -616,6 +616,7 @@ mod tests {
                         coherence_invalidations: 0,
                         instructions: 0,
                     },
+                    phase_seconds: odb_engine::PhaseSeconds::default(),
                 });
             }
         }

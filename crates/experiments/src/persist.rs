@@ -200,6 +200,7 @@ pub fn sweep_from_csv(csv: &str) -> Result<Sweep, Error> {
                 bus_transaction_cycles,
             },
             characterization: empty_characterization(),
+            phase_seconds: odb_engine::PhaseSeconds::default(),
         });
     }
     Ok(Sweep::from_rows(rows))
@@ -279,6 +280,7 @@ mod tests {
             saturated: false,
             measurement: m,
             characterization: empty_characterization(),
+            phase_seconds: odb_engine::PhaseSeconds::default(),
         }])
     }
 

@@ -32,7 +32,7 @@
 use crate::ladder::{paper_ladder, ConfigPoint, CLIENT_GRID};
 use odb_core::config::{OltpConfig, SystemConfig, WorkloadConfig};
 use odb_core::metrics::Measurement;
-use odb_engine::{OdbSimulator, SimOptions};
+use odb_engine::{OdbSimulator, PhaseSeconds, SimOptions};
 use odb_memsim::trace::Characterization;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -126,16 +126,24 @@ pub struct SweepRow {
     pub measurement: Measurement,
     /// The final cache characterization (for coherence analyses).
     pub characterization: Characterization,
+    /// Wall-clock spent in each simulation phase for this point, summed
+    /// over the probe runs of the client search and the measurement-grade
+    /// run. Diagnostic only — never persisted to `sweep.csv`, so the
+    /// results drift gate is blind to it — but surfaced by `odb-bench` so
+    /// perf work can ratchet the phase that actually dominates.
+    pub phase_seconds: PhaseSeconds,
 }
 
 /// Outcome of the client-count utilization search for one point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientSearch {
     /// Chosen client count (minimal qualifying count plus one grid step
     /// of headroom, or the grid maximum when saturated).
     pub clients: u32,
     /// `true` when even [`CLIENT_GRID`]'s maximum missed the target.
     pub saturated: bool,
+    /// Wall-clock the probe runs of this search spent per phase.
+    pub phase_seconds: PhaseSeconds,
 }
 
 /// All measured points, keyed by `(P, W)`.
@@ -268,11 +276,26 @@ impl Sweep {
         point: ConfigPoint,
         clients: u32,
     ) -> Result<f64, odb_core::Error> {
+        Self::probe_utilization_timed(system, options, point, clients).map(|(u, _)| u)
+    }
+
+    /// [`Sweep::probe_utilization`] plus the probe run's per-phase
+    /// wall-clock, so the client search can charge its cost to the right
+    /// phase in the point's [`SweepRow::phase_seconds`].
+    fn probe_utilization_timed(
+        system: &SystemConfig,
+        options: &SweepOptions,
+        point: ConfigPoint,
+        clients: u32,
+    ) -> Result<(f64, PhaseSeconds), odb_core::Error> {
         let sys = system.clone().with_processors(point.processors);
         let probe = options.probe.for_point(point.warehouses, point.processors);
         let config = OltpConfig::new(WorkloadConfig::new(point.warehouses, clients)?, sys)?;
-        let m = OdbSimulator::new(config, probe)?.run()?;
-        Ok(m.cpu_utilization)
+        let artifacts = OdbSimulator::new(config, probe)?.run_detailed()?;
+        Ok((
+            artifacts.measurement.cpu_utilization,
+            artifacts.phase_seconds,
+        ))
     }
 
     /// The client-count utilization search for one point: binary-search
@@ -291,21 +314,24 @@ impl Sweep {
         options: &SweepOptions,
         point: ConfigPoint,
     ) -> Result<ClientSearch, odb_core::Error> {
+        let mut phase = PhaseSeconds::default();
+        let mut probe = |clients: u32| -> Result<f64, odb_core::Error> {
+            let (utilization, p) = Self::probe_utilization_timed(system, options, point, clients)?;
+            phase.accumulate(&p);
+            Ok(utilization)
+        };
         let mut lo = 0usize;
         let mut hi = CLIENT_GRID.len() - 1;
-        if Self::probe_utilization(system, options, point, CLIENT_GRID[hi])?
-            < options.utilization_target
-        {
+        if probe(CLIENT_GRID[hi])? < options.utilization_target {
             return Ok(ClientSearch {
                 clients: CLIENT_GRID[hi],
                 saturated: true,
+                phase_seconds: phase,
             });
         }
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if Self::probe_utilization(system, options, point, CLIENT_GRID[mid])?
-                >= options.utilization_target
-            {
+            if probe(CLIENT_GRID[mid])? >= options.utilization_target {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -314,6 +340,7 @@ impl Sweep {
         Ok(ClientSearch {
             clients: CLIENT_GRID[(hi + 1).min(CLIENT_GRID.len() - 1)],
             saturated: false,
+            phase_seconds: phase,
         })
     }
 
@@ -323,17 +350,23 @@ impl Sweep {
         options: &SweepOptions,
         point: ConfigPoint,
     ) -> Result<SweepRow, odb_core::Error> {
-        let ClientSearch { clients, saturated } = Self::search_clients(system, options, point)?;
+        let ClientSearch {
+            clients,
+            saturated,
+            phase_seconds: mut phase,
+        } = Self::search_clients(system, options, point)?;
         let sys = system.clone().with_processors(point.processors);
         let measure = options.measure.for_point(point.warehouses, point.processors);
         let config = OltpConfig::new(WorkloadConfig::new(point.warehouses, clients)?, sys)?;
         let artifacts = OdbSimulator::new(config, measure)?.run_detailed()?;
+        phase.accumulate(&artifacts.phase_seconds);
         Ok(SweepRow {
             point,
             clients,
             saturated,
             measurement: artifacts.measurement,
             characterization: artifacts.characterization,
+            phase_seconds: phase,
         })
     }
 

@@ -319,6 +319,7 @@ mod tests {
                         coherence_invalidations: 0,
                         instructions: 0,
                     },
+                    phase_seconds: odb_engine::PhaseSeconds::default(),
                 });
                 let _ = l3_cost;
             }

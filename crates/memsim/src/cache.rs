@@ -105,6 +105,9 @@ pub struct SetAssocCache {
     ways: usize,
     set_mask: u64,
     line_shift: u32,
+    /// `log2(sets)`, precomputed: tag extraction and victim-address
+    /// reconstruction run on every access/miss and must not re-derive it.
+    sets_shift: u32,
     clock: u64,
     stats: CacheStats,
     policy: PolicyState,
@@ -130,6 +133,7 @@ impl SetAssocCache {
             ways,
             set_mask: geometry.sets() - 1,
             line_shift: geometry.line_bytes().trailing_zeros(),
+            sets_shift: geometry.sets().trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
             policy: PolicyState::new(policy),
@@ -159,17 +163,146 @@ impl SetAssocCache {
     }
 
     /// The line-aligned address containing `addr`.
+    #[inline]
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr >> self.line_shift << self.line_shift
     }
 
+    #[inline]
     fn set_index(&self, line_number: u64) -> usize {
         (line_number & self.set_mask) as usize
     }
 
     /// Accesses `addr` (read or write) and returns the outcome, updating
     /// LRU state and statistics.
+    ///
+    /// This is the hottest function in the characterization loop, so the
+    /// set walk is a single pass that resolves the hit *and* the victim
+    /// candidate together instead of re-scanning on a miss. The naive
+    /// two-pass version survives as `access_reference` under `cfg(test)`
+    /// and a proptest pins the two access-for-access identical.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        if self.policy.should_clear_stamps() {
+            for line in &mut self.sets {
+                line.stamp = 0;
+            }
+        }
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.sets_shift;
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        let clock = self.clock;
+        let touch = self.policy.touch_stamp(clock);
+        let ways = &mut self.sets[base..base + self.ways];
+
+        // One walk: find the hit, tracking the victim candidate (first
+        // line minimizing `(valid, stamp)` — invalid ways always win) as
+        // we go so a miss needs no second scan.
+        let mut victim_at = 0usize;
+        let mut victim_key = (true, u64::MAX);
+        for (i, line) in ways.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                if let Some(stamp) = touch {
+                    line.stamp = stamp;
+                }
+                line.dirty |= write;
+                return Access::Hit;
+            }
+            let key = (line.valid, line.stamp);
+            if key < victim_key {
+                victim_key = key;
+                victim_at = i;
+            }
+        }
+
+        // Miss: classify, then fill the victim way. The classification
+        // set is empty unless coherence invalidations are in flight, so
+        // the common path is a branch, not a hash probe.
+        self.stats.misses += 1;
+        let coherence = !self.invalidated.is_empty()
+            && self.invalidated.remove(&(line_number << self.line_shift));
+        if coherence {
+            self.stats.coherence_misses += 1;
+        }
+        // `CacheGeometry` validation guarantees at least one way; were a
+        // zero-way set ever constructed anyway it would simply never fill.
+        let Some(victim) = ways.get_mut(victim_at) else {
+            return Access::Miss {
+                evicted: None,
+                coherence,
+            };
+        };
+        let mut evicted = None;
+        if victim.valid {
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            let victim_line = (victim.tag << self.sets_shift | set as u64) << self.line_shift;
+            evicted = Some(Evicted {
+                addr: victim_line,
+                dirty: victim.dirty,
+            });
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.policy.fill_stamp(clock),
+        };
+        Access::Miss { evicted, coherence }
+    }
+
+    /// `true` when the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.sets_shift;
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        self.sets[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` (a coherence action from a
+    /// remote writer). Returns `true` if the line was resident.
+    ///
+    /// The next miss on the same line is classified as a coherence miss.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_number = addr >> self.line_shift;
+        let tag = line_number >> self.sets_shift;
+        let set = self.set_index(line_number);
+        let base = set * self.ways;
+        if let Some(line) = self.sets[base..base + self.ways]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.valid = false;
+            line.dirty = false;
+            self.stats.invalidations_received += 1;
+            self.invalidated.insert(line_number << self.line_shift);
+            // Bound the classification set; correctness does not depend on
+            // it and coherence traffic is rare by design.
+            if self.invalidated.len() > 1 << 16 {
+                self.invalidated.clear();
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+impl SetAssocCache {
+    /// The pre-optimization two-pass `access`, kept verbatim: find the hit
+    /// with one scan, then re-scan with `min_by_key` for the victim. The
+    /// `access_equivalence` proptest pins the optimized single-pass walk
+    /// access-for-access identical to this on random geometries, policies,
+    /// and address streams.
+    fn access_reference(&mut self, addr: u64, write: bool) -> Access {
         self.clock += 1;
         self.stats.accesses += 1;
         if self.policy.should_clear_stamps() {
@@ -202,8 +335,6 @@ impl SetAssocCache {
         if coherence {
             self.stats.coherence_misses += 1;
         }
-        // `CacheGeometry` validation guarantees at least one way; were a
-        // zero-way set ever constructed anyway it would simply never fill.
         let Some(victim) = ways.iter_mut().min_by_key(|l| (l.valid, l.stamp)) else {
             return Access::Miss {
                 evicted: None,
@@ -230,45 +361,6 @@ impl SetAssocCache {
             stamp: self.policy.fill_stamp(clock),
         };
         Access::Miss { evicted, coherence }
-    }
-
-    /// `true` when the line containing `addr` is resident.
-    pub fn contains(&self, addr: u64) -> bool {
-        let line_number = addr >> self.line_shift;
-        let tag = line_number >> self.geometry.sets().trailing_zeros();
-        let set = self.set_index(line_number);
-        let base = set * self.ways;
-        self.sets[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
-    }
-
-    /// Invalidates the line containing `addr` (a coherence action from a
-    /// remote writer). Returns `true` if the line was resident.
-    ///
-    /// The next miss on the same line is classified as a coherence miss.
-    pub fn invalidate(&mut self, addr: u64) -> bool {
-        let line_number = addr >> self.line_shift;
-        let tag = line_number >> self.geometry.sets().trailing_zeros();
-        let set = self.set_index(line_number);
-        let base = set * self.ways;
-        if let Some(line) = self.sets[base..base + self.ways]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.valid = false;
-            line.dirty = false;
-            self.stats.invalidations_received += 1;
-            self.invalidated.insert(line_number << self.line_shift);
-            // Bound the classification set; correctness does not depend on
-            // it and coherence traffic is rare by design.
-            if self.invalidated.len() > 1 << 16 {
-                self.invalidated.clear();
-            }
-            true
-        } else {
-            false
-        }
     }
 }
 
@@ -500,6 +592,43 @@ mod tests {
         }
     }
 
+    /// Exhaustive randomized form of `access_equivalence` that runs even
+    /// where the `proptest` crate is stubbed out: walks many random
+    /// geometries × every policy × random address/write/invalidate
+    /// streams and requires the optimized `access` and the naive
+    /// `access_reference` to agree access-for-access.
+    #[test]
+    fn access_equivalence_randomized() {
+        use crate::policy::ReplacementPolicy;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x0DB_CAC4E);
+        for trial in 0..200 {
+            let line = 1u64 << rng.gen_range(5u32..8); // 32..128 B
+            let sets = 1u64 << rng.gen_range(0u32..5); // 1..16 sets
+            let ways = rng.gen_range(1u64..5);
+            let policy = ReplacementPolicy::ALL[rng.gen_range(0..ReplacementPolicy::ALL.len())];
+            let geometry =
+                CacheGeometry::new(line * sets * ways, line as u32, ways as u32).unwrap();
+            let mut fast = SetAssocCache::with_policy(geometry, policy);
+            let mut naive = SetAssocCache::with_policy(geometry, policy);
+            for op in 0..400 {
+                let addr = rng.gen_range(0u64..1 << 14);
+                let write = rng.gen_bool(0.3);
+                if rng.gen_ratio(1, 16) {
+                    assert_eq!(fast.invalidate(addr), naive.invalidate(addr));
+                }
+                let a = fast.access(addr, write);
+                let b = naive.access_reference(addr, write);
+                assert_eq!(
+                    a, b,
+                    "trial {trial} op {op}: {policy} diverged at addr {addr:#x} write {write}"
+                );
+            }
+            assert_eq!(fast.stats(), naive.stats(), "trial {trial}: stats diverged");
+        }
+    }
+
     proptest! {
         /// Accesses never panic and stats stay consistent for arbitrary
         /// address streams.
@@ -525,6 +654,42 @@ mod tests {
             c.access(addr, false);
             prop_assert!(c.access(addr, false).is_hit());
             prop_assert!(c.contains(addr));
+        }
+
+        /// The optimized single-pass `access` is access-for-access
+        /// identical to the naive two-pass `access_reference` — same
+        /// hit/miss classification, same victim, same writeback flag —
+        /// across random geometries, policies, address streams, and
+        /// interleaved coherence invalidations.
+        #[test]
+        fn access_equivalence(
+            line_shift in 5u32..8,          // 32..128 B lines
+            sets_shift in 0u32..5,          // 1..16 sets
+            ways in 1u64..5,
+            policy_idx in 0usize..crate::policy::ReplacementPolicy::ALL.len(),
+            ops in proptest::collection::vec(
+                (0u64..1 << 14, any::<bool>(), 0u8..16),
+                1..400,
+            )
+        ) {
+            let line = 1u64 << line_shift;
+            let sets = 1u64 << sets_shift;
+            let geometry =
+                CacheGeometry::new(line * sets * ways, line as u32, ways as u32).unwrap();
+            let policy = crate::policy::ReplacementPolicy::ALL[policy_idx];
+            let mut fast = SetAssocCache::with_policy(geometry, policy);
+            let mut naive = SetAssocCache::with_policy(geometry, policy);
+            for &(addr, write, inv) in &ops {
+                // Occasionally invalidate first, so coherence-miss
+                // classification is exercised on both paths.
+                if inv == 0 {
+                    prop_assert_eq!(fast.invalidate(addr), naive.invalidate(addr));
+                }
+                let a = fast.access(addr, write);
+                let b = naive.access_reference(addr, write);
+                prop_assert_eq!(a, b, "diverged at addr {:#x} write {}", addr, write);
+            }
+            prop_assert_eq!(fast.stats(), naive.stats());
         }
     }
 }

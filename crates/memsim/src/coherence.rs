@@ -30,6 +30,15 @@ impl Invalidate for SetAssocCache {
     }
 }
 
+/// Mutable references forward, so `Directory::write_slice` accepts both
+/// owned slices (`&mut [CpuHierarchy]`) and slices of references
+/// (`&mut [&mut T]`) without the caller collecting a reference `Vec`.
+impl<T: Invalidate + ?Sized> Invalidate for &mut T {
+    fn invalidate_line(&mut self, addr: u64) -> bool {
+        (**self).invalidate_line(addr)
+    }
+}
+
 /// Tracks which processors hold which lines and broadcasts invalidations.
 #[derive(Debug, Default)]
 pub struct Directory {
@@ -106,6 +115,18 @@ impl Directory {
         writer: usize,
         line_addr: u64,
         caches: &mut [&mut T],
+    ) -> u32 {
+        self.write_slice(writer, line_addr, caches)
+    }
+
+    /// [`Directory::write`] over a plain slice of caches. The hot path in
+    /// `trace.rs` passes its hierarchies directly, avoiding the per-write
+    /// `Vec<&mut _>` collect that `write`'s reference-slice shape forces.
+    pub fn write_slice<T: Invalidate>(
+        &mut self,
+        writer: usize,
+        line_addr: u64,
+        caches: &mut [T],
     ) -> u32 {
         if !self.enabled {
             return 0;

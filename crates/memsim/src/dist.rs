@@ -9,6 +9,8 @@
 
 use odb_core::Error;
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A Zipf(`n`, `s`) sampler over `0..n` where rank 0 is the hottest.
 ///
@@ -30,8 +32,11 @@ pub struct Zipf {
 
 #[derive(Debug, Clone)]
 enum Repr {
-    /// Exact inverse CDF for domains small enough to tabulate.
-    Table(Vec<f64>),
+    /// Exact inverse CDF for domains small enough to tabulate. The table
+    /// is `Arc`-shared through a process-wide cache: sweep points and
+    /// fixed-point rounds construct identical samplers over and over, and
+    /// the O(n) table build used to dominate `Zipf::new`.
+    Table(Arc<CdfTable>),
     /// Continuous bounded-Pareto approximation for huge domains.
     Approx {
         s: f64,
@@ -43,8 +48,84 @@ enum Repr {
     Harmonic { ln_n: f64 },
 }
 
+/// A tabulated CDF plus its search accelerator.
+#[derive(Debug, Clone)]
+struct CdfTable {
+    cdf: Vec<f64>,
+    /// Bucket accelerator over the unit interval: `accel` has `K + 1`
+    /// entries and `accel[j]` is the first index whose CDF value reaches
+    /// `j / K`. A draw `u` lands in bucket `⌊u·K⌋` and binary-searches
+    /// only the handful of entries inside it — *bit-identical* to the
+    /// full-table binary search because the CDF is strictly increasing
+    /// (unique values), so both searches resolve the same unique index.
+    /// Empty when the CDF has duplicate adjacent values (degenerate
+    /// float underflow); those tables fall back to the full search.
+    accel: Vec<u32>,
+}
+
+impl CdfTable {
+    fn build(cdf: Vec<f64>) -> Self {
+        let n = cdf.len();
+        let strictly_increasing = cdf.windows(2).all(|w| w[0] < w[1]);
+        let accel = if strictly_increasing && n >= 2 {
+            // K = n buckets: one expected entry per bucket, 4 bytes each.
+            let k = n;
+            let mut accel = Vec::with_capacity(k + 1);
+            let mut i = 0usize;
+            for j in 0..=k {
+                let boundary = j as f64 / k as f64;
+                while i < n && cdf[i] < boundary {
+                    i += 1;
+                }
+                accel.push(i as u32);
+            }
+            accel
+        } else {
+            Vec::new()
+        };
+        Self { cdf, accel }
+    }
+}
+
 /// Domains up to this size get an exact table (8 bytes per entry).
 const TABLE_LIMIT: u64 = 1 << 20;
+
+/// Process-wide cache of built CDF tables keyed by `(n, s)`. Bounded:
+/// once full, new shapes are built uncached (the sweep only ever uses a
+/// handful of shapes, so eviction machinery would be dead weight).
+type CdfCacheMap = HashMap<(u64, u64), Arc<CdfTable>>;
+static CDF_CACHE: OnceLock<Mutex<CdfCacheMap>> = OnceLock::new();
+const CDF_CACHE_CAP: usize = 64;
+
+fn cached_cdf_table(n: u64, s: f64) -> Arc<CdfTable> {
+    let cache = CDF_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (n, s.to_bits());
+    let map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(table) = map.get(&key) {
+        return Arc::clone(table);
+    }
+    drop(map);
+    // Build outside the lock: tables can be megabytes and parallel sweep
+    // workers should not serialize on the build.
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut total = 0.0;
+    for k in 0..n {
+        total += 1.0 / ((k + 1) as f64).powf(s);
+        cdf.push(total);
+    }
+    for v in &mut cdf {
+        *v /= total;
+    }
+    let table = Arc::new(CdfTable::build(cdf));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(winner) = map.get(&key) {
+        return Arc::clone(winner);
+    }
+    if map.len() < CDF_CACHE_CAP {
+        map.insert(key, Arc::clone(&table));
+    }
+    table
+}
 
 impl Zipf {
     /// Creates a sampler over `0..n` with exponent `s ≥ 0`.
@@ -71,16 +152,7 @@ impl Zipf {
             });
         }
         let repr = if n <= TABLE_LIMIT {
-            let mut cdf = Vec::with_capacity(n as usize);
-            let mut total = 0.0;
-            for k in 0..n {
-                total += 1.0 / ((k + 1) as f64).powf(s);
-                cdf.push(total);
-            }
-            for v in &mut cdf {
-                *v /= total;
-            }
-            Repr::Table(cdf)
+            Repr::Table(cached_cdf_table(n, s))
         } else if (s - 1.0).abs() < 1e-9 {
             Repr::Harmonic {
                 ln_n: (n as f64).ln(),
@@ -111,9 +183,9 @@ impl Zipf {
     ///
     /// Returns [`Error::CorruptState`] describing the first bad entry.
     pub fn check_cdf(&self) -> Result<(), Error> {
-        if let Repr::Table(cdf) = &self.repr {
+        if let Repr::Table(table) = &self.repr {
             let mut prev = 0.0f64;
-            for (i, &v) in cdf.iter().enumerate() {
+            for (i, &v) in table.cdf.iter().enumerate() {
                 if !v.is_finite() {
                     return Err(Error::corrupt(
                         "memsim::dist",
@@ -141,8 +213,11 @@ impl Zipf {
     /// total-order search tolerates NaN) but its draws are meaningless.
     #[cfg(feature = "invariants")]
     pub fn inject_poison_cdf(&mut self) -> bool {
-        if let Repr::Table(cdf) = &mut self.repr {
-            if let Some(first) = cdf.first_mut() {
+        if let Repr::Table(table) = &mut self.repr {
+            // Clone-on-write: the table is shared through the process-wide
+            // CDF cache and poison must stay local to this sampler.
+            let owned = Arc::make_mut(table);
+            if let Some(first) = owned.cdf.first_mut() {
                 *first = f64::NAN;
                 return true;
             }
@@ -151,14 +226,12 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..n`.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match &self.repr {
-            Repr::Table(cdf) => {
+            Repr::Table(table) => {
                 let u: f64 = rng.gen();
-                match cdf.binary_search_by(|v| v.total_cmp(&u)) {
-                    Ok(i) => i as u64,
-                    Err(i) => (i as u64).min(self.n - 1),
-                }
+                (Self::search_table(table, u)).min(self.n - 1)
             }
             Repr::Approx { s, n_pow } => {
                 // Continuous bounded Pareto on [1, n+1): invert
@@ -173,6 +246,37 @@ impl Zipf {
                 let x = (u * ln_n).exp();
                 ((x.floor() as u64).saturating_sub(1)).min(self.n - 1)
             }
+        }
+    }
+
+    /// Inverse-CDF lookup for `u`, accelerated by the bucket table when
+    /// present. Returns exactly what
+    /// `cdf.binary_search_by(|v| v.total_cmp(&u))` (Ok and Err collapsed
+    /// to the index) returns on the full table: the bucket only narrows
+    /// the range, and a strictly increasing CDF has a unique answer, so
+    /// the windowed search cannot resolve differently. Pinned by the
+    /// `accelerated_search_matches_full_binary_search` test.
+    #[inline]
+    fn search_table(table: &CdfTable, u: f64) -> u64 {
+        let cdf = &table.cdf;
+        if table.accel.is_empty() {
+            return match cdf.binary_search_by(|v| v.total_cmp(&u)) {
+                Ok(i) | Err(i) => i as u64,
+            };
+        }
+        let k = table.accel.len() - 1;
+        let mut j = ((u * k as f64) as usize).min(k - 1);
+        // `u * k` rounding can land one bucket off; nudge so that
+        // `j/K <= u < (j+1)/K` holds before trusting the window.
+        if u < j as f64 / k as f64 {
+            j -= 1;
+        } else if j + 1 < k && u >= (j + 1) as f64 / k as f64 {
+            j += 1;
+        }
+        let lo = table.accel[j] as usize;
+        let hi = (table.accel[j + 1] as usize + 1).min(cdf.len());
+        match cdf[lo..hi].binary_search_by(|v| v.total_cmp(&u)) {
+            Ok(i) | Err(i) => (lo + i) as u64,
         }
     }
 }
@@ -278,6 +382,63 @@ mod tests {
         }
     }
 
+    #[test]
+    fn accelerated_search_matches_full_binary_search() {
+        use rand::Rng;
+        // Shapes spanning tiny/odd/large domains and uniform/skewed
+        // exponents; each draws thousands of uniforms and requires the
+        // bucket-accelerated lookup to equal the full-table search bit
+        // for bit, including bucket-boundary values of u.
+        for &(n, s) in &[
+            (1u64, 0.9),
+            (2, 0.0),
+            (7, 0.5),
+            (100, 1.0),
+            (1000, 0.0),
+            (5000, 0.8),
+            (65_536, 1.2),
+        ] {
+            let z = Zipf::new(n, s).unwrap();
+            let Repr::Table(table) = &z.repr else {
+                panic!("n={n} should be table-backed");
+            };
+            let full = |u: f64| -> u64 {
+                match table.cdf.binary_search_by(|v| v.total_cmp(&u)) {
+                    Ok(i) | Err(i) => i as u64,
+                }
+            };
+            let mut rng = SmallRng::seed_from_u64(0xACCE1);
+            for _ in 0..5_000 {
+                let u: f64 = rng.gen();
+                assert_eq!(Zipf::search_table(table, u), full(u), "n={n} s={s} u={u}");
+            }
+            // Exact bucket boundaries are the rounding-sensitive inputs.
+            for j in 0..n.min(64) {
+                let u = j as f64 / n as f64;
+                assert_eq!(Zipf::search_table(table, u), full(u), "n={n} s={s} boundary {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_cache_shares_tables_across_constructions() {
+        let a = Zipf::new(4096, 0.77).unwrap();
+        let b = Zipf::new(4096, 0.77).unwrap();
+        let (Repr::Table(ta), Repr::Table(tb)) = (&a.repr, &b.repr) else {
+            panic!("expected table-backed samplers");
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(ta, tb),
+            "identical (n, s) must share one cached table"
+        );
+        // A different shape gets its own table.
+        let c = Zipf::new(4096, 0.78).unwrap();
+        let Repr::Table(tc) = &c.repr else {
+            panic!("expected table-backed sampler");
+        };
+        assert!(!std::sync::Arc::ptr_eq(ta, tc));
+    }
+
     #[cfg(feature = "invariants")]
     #[test]
     fn poisoned_cdf_is_detected_and_sampling_does_not_abort() {
@@ -293,5 +454,9 @@ mod tests {
         for _ in 0..1_000 {
             assert!(z.sample(&mut rng) < 64);
         }
+        // Poison is clone-on-write local: a fresh sampler of the same
+        // shape comes from the shared cache unpoisoned.
+        let fresh = Zipf::new(64, 1.0).unwrap();
+        assert_eq!(fresh.check_cdf(), Ok(()));
     }
 }

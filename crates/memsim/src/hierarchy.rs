@@ -126,6 +126,10 @@ pub struct CpuHierarchy {
     l1d: SetAssocCache,
     l2: SetAssocCache,
     l3: std::rc::Rc<std::cell::RefCell<SetAssocCache>>,
+    /// L3 line shift copied out at construction: the per-reference paths
+    /// compute line-aligned addresses without touching the `RefCell`
+    /// (a borrow per access is measurable in the characterization loop).
+    l3_line_shift: u32,
     tlb: Tlb,
     counts: [HierarchyCounts; 2],
     /// Next-line prefetch into L2 on every L2 demand miss (a §7-style
@@ -181,15 +185,24 @@ impl CpuHierarchy {
         config: &SystemConfig,
         l3: std::rc::Rc<std::cell::RefCell<SetAssocCache>>,
     ) -> Result<Self, Error> {
+        let l3_line_shift = l3.borrow().geometry().line_bytes().trailing_zeros();
         Ok(Self {
             tc: SetAssocCache::new(config.trace_cache),
             l1d: SetAssocCache::new(l1d_geometry()?),
             l2: SetAssocCache::new(config.l2),
             l3,
+            l3_line_shift,
             tlb: Tlb::new(config.tlb_entries as usize)?,
             counts: [HierarchyCounts::default(); 2],
             l2_prefetch: false,
         })
+    }
+
+    /// Line-aligned address as the L3 (and the coherence directory) sees
+    /// it, computed without borrowing the shared cache.
+    #[inline]
+    fn l3_line_addr(&self, addr: u64) -> u64 {
+        addr >> self.l3_line_shift << self.l3_line_shift
     }
 
     /// Enables next-line prefetching into L2 on demand misses. Prefetch
@@ -216,6 +229,7 @@ impl CpuHierarchy {
     }
 
     /// Issues an instruction-fetch line reference.
+    #[inline]
     pub fn fetch_code(&mut self, addr: u64, space: Space) -> RefOutcome {
         let c = &mut self.counts[space.index()];
         c.code_refs += 1;
@@ -227,6 +241,7 @@ impl CpuHierarchy {
     }
 
     /// Issues a data reference (`write` dirties the line).
+    #[inline]
     pub fn access_data(&mut self, addr: u64, write: bool, space: Space) -> RefOutcome {
         {
             let c = &mut self.counts[space.index()];
@@ -239,7 +254,7 @@ impl CpuHierarchy {
         if !self.tlb.access(addr) {
             self.counts[space.index()].tlb_misses += 1;
         }
-        let line = self.l3.borrow().line_addr(addr);
+        let line = self.l3_line_addr(addr);
         if self.l1d.access(addr, write).is_hit() {
             return RefOutcome {
                 l3_fill: None,
@@ -255,6 +270,7 @@ impl CpuHierarchy {
     }
 
     /// L2→L3 path shared by code and data misses.
+    #[inline]
     fn descend(&mut self, addr: u64, write: bool, space: Space) -> RefOutcome {
         let c = &mut self.counts[space.index()];
         c.l2_accesses += 1;
@@ -267,10 +283,7 @@ impl CpuHierarchy {
         let c = &mut self.counts[space.index()];
         c.l2_misses += 1;
         c.l3_accesses += 1;
-        // Bind before matching: a scrutinee temporary would hold the
-        // RefCell borrow across the arm that re-borrows for line_addr.
-        let access = self.l3.borrow_mut().access(addr, write);
-        match access {
+        match self.l3.borrow_mut().access(addr, write) {
             Access::Hit => RefOutcome::default(),
             Access::Miss { evicted, coherence } => {
                 let c = &mut self.counts[space.index()];
@@ -283,7 +296,7 @@ impl CpuHierarchy {
                 }
                 RefOutcome {
                     l3_fill: Some(L3Fill {
-                        filled: self.l3.borrow().line_addr(addr),
+                        filled: self.l3_line_addr(addr),
                         evicted,
                         coherence,
                     }),

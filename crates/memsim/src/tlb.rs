@@ -40,6 +40,11 @@ pub struct Tlb {
     /// `(page_number, stamp)` pairs; linear LRU.
     entries: Vec<(u64, u64)>,
     capacity: usize,
+    /// Index of the most recently touched entry. Reference streams have
+    /// strong page locality, so checking this one entry first skips the
+    /// linear scan for the common consecutive-same-page case without
+    /// changing hit/miss or replacement behaviour.
+    mru: usize,
     clock: u64,
     stats: TlbStats,
 }
@@ -63,25 +68,47 @@ impl Tlb {
         Ok(Self {
             entries: Vec::with_capacity(entries),
             capacity: entries,
+            mru: 0,
             clock: 0,
             stats: TlbStats::default(),
         })
     }
 
     /// Translates the page containing `addr`; returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
         let page = addr >> PAGE_SHIFT;
-        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+        // MRU fast path: same page as the previous translation.
+        if let Some(entry) = self.entries.get_mut(self.mru) {
+            if entry.0 == page {
+                entry.1 = self.clock;
+                return true;
+            }
+        }
+        if let Some((i, entry)) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .find(|(_, (p, _))| *p == page)
+        {
             entry.1 = self.clock;
+            self.mru = i;
             return true;
         }
         self.stats.misses += 1;
         if self.entries.len() < self.capacity {
             self.entries.push((page, self.clock));
-        } else if let Some(lru) = self.entries.iter_mut().min_by_key(|(_, stamp)| *stamp) {
+            self.mru = self.entries.len() - 1;
+        } else if let Some((i, lru)) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+        {
             *lru = (page, self.clock);
+            self.mru = i;
         }
         false
     }

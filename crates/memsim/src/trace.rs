@@ -399,6 +399,10 @@ pub struct Characterizer {
     system: SystemConfig,
     /// Interleaving granularity in instructions.
     chunk: u64,
+    /// Instructions of user execution between OS bursts yielding the
+    /// configured OS share — `burst_len × (1 − f) / f`, precomputed once
+    /// so the per-chunk path does no float work.
+    user_between_bursts: u64,
     /// L3 replacement policy (LRU unless exploring §7 schemes).
     l3_policy: crate::policy::ReplacementPolicy,
     /// Last-level-cache organization (private per core, or one shared —
@@ -418,10 +422,16 @@ impl Characterizer {
     pub fn new(system: SystemConfig, params: TraceParams) -> Result<Self, odb_core::Error> {
         system.validate()?;
         params.validate()?;
+        let user_between_bursts = if params.os_fraction > 0.0 && params.os_fraction < 1.0 {
+            (params.os_burst_len as f64 * (1.0 - params.os_fraction) / params.os_fraction) as u64
+        } else {
+            u64::MAX
+        };
         Ok(Self {
             params,
             system,
             chunk: 20_000,
+            user_between_bursts,
             l3_policy: crate::policy::ReplacementPolicy::Lru,
             shared_l3: false,
             l2_prefetch: false,
@@ -536,22 +546,19 @@ impl Characterizer {
         } else {
             directory
         };
-        let mut processes: Vec<Vec<ProcessState<S>>> = (0..p)
-            .map(|cpu| {
-                (0..ppc)
-                    .map(|slot| {
-                        let pid = cpu * ppc + slot;
-                        ProcessState {
-                            pid,
-                            user_code_cursor: USER_CODE_BASE
-                                + (pid as u64 * 4096) % self.params.user_code_bytes.max(4096),
-                            db_source: make_source(pid),
-                            run: DataRun::default(),
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        // One flat, pre-sized table (`ppc` consecutive slots per CPU):
+        // the per-chunk path slices into it instead of chasing a nested
+        // `Vec<Vec<…>>`.
+        let mut processes: Vec<ProcessState<S>> = Vec::with_capacity(p * ppc);
+        for pid in 0..p * ppc {
+            processes.push(ProcessState {
+                pid,
+                user_code_cursor: USER_CODE_BASE
+                    + (pid as u64 * 4096) % self.params.user_code_bytes.max(4096),
+                db_source: make_source(pid),
+                run: DataRun::default(),
+            });
+        }
         let mut cpus: Vec<CpuState> = (0..p)
             .map(|cpu| CpuState {
                 current: 0,
@@ -566,6 +573,9 @@ impl Characterizer {
             .collect();
 
         let samplers = Samplers::new(&self.params)?;
+        // Scratch for interleave's per-CPU countdown, allocated once for
+        // both phases.
+        let mut remaining = vec![0u64; p];
 
         // Warm-up: identical loop, stats discarded afterwards.
         self.interleave(
@@ -575,6 +585,7 @@ impl Characterizer {
             &mut cpus,
             directory,
             &samplers,
+            &mut remaining,
         );
         for h in &mut hierarchies {
             h.reset_counts();
@@ -588,6 +599,7 @@ impl Characterizer {
             &mut cpus,
             directory,
             &samplers,
+            &mut remaining,
         );
 
         let mut user = HierarchyCounts::default();
@@ -630,17 +642,21 @@ impl Characterizer {
     }
 
     /// Runs `instructions` per CPU, interleaved in chunks for coherence
-    /// fidelity.
+    /// fidelity. `remaining` is caller-owned scratch (one slot per CPU)
+    /// so repeated phases reuse one allocation.
+    #[allow(clippy::too_many_arguments)]
     fn interleave<S: DbRefSource>(
         &self,
         instructions: u64,
         hierarchies: &mut [CpuHierarchy],
-        processes: &mut [Vec<ProcessState<S>>],
+        processes: &mut [ProcessState<S>],
         cpus: &mut [CpuState],
         directory: &mut Directory,
         samplers: &Samplers,
+        remaining: &mut [u64],
     ) {
-        let mut remaining = vec![instructions; cpus.len()];
+        let ppc = self.params.processes_per_cpu;
+        remaining.fill(instructions);
         loop {
             let mut progressed = false;
             for cpu in 0..cpus.len() {
@@ -654,7 +670,7 @@ impl Characterizer {
                     cpu,
                     n,
                     hierarchies,
-                    &mut processes[cpu],
+                    &mut processes[cpu * ppc..(cpu + 1) * ppc],
                     &mut cpus[cpu],
                     directory,
                     samplers,
@@ -678,13 +694,7 @@ impl Characterizer {
         samplers: &Samplers,
     ) {
         let p = &self.params;
-        // Instructions of user execution between OS bursts that yields the
-        // configured OS share: burst_len × (1 − f) / f.
-        let user_between_bursts = if p.os_fraction > 0.0 && p.os_fraction < 1.0 {
-            (p.os_burst_len as f64 * (1.0 - p.os_fraction) / p.os_fraction) as u64
-        } else {
-            u64::MAX
-        };
+        let user_between_bursts = self.user_between_bursts;
 
         for _ in 0..instructions {
             // Space selection via burst alternation.
@@ -824,6 +834,12 @@ impl Characterizer {
 }
 
 /// Propagates an access outcome into the coherence directory.
+///
+/// Invalidation broadcasts go through [`Directory::write_slice`] on the
+/// hierarchy slice itself — the previous shape collected a
+/// `Vec<&mut CpuHierarchy>` per invalidating write, a per-reference
+/// allocation in the hottest loop of the simulator.
+#[inline]
 fn sync_directory(
     cpu: usize,
     outcome: RefOutcome,
@@ -839,8 +855,7 @@ fn sync_directory(
     }
     if let Some(line) = outcome.wrote_line {
         if directory.has_remote_holders(cpu, line) {
-            let mut refs: Vec<&mut CpuHierarchy> = hierarchies.iter_mut().collect();
-            directory.write(cpu, line, &mut refs);
+            directory.write_slice(cpu, line, hierarchies);
         }
     }
 }
