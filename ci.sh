@@ -11,12 +11,26 @@ cargo test -q --workspace --features invariants
 cargo clippy --workspace --all-targets --features invariants -- -D warnings
 cargo run -p odb-analyzer
 
-# Panic-freedom ratchet: the analyzer above enforces "no worse than
+# Machine-readable analyzer report, archived for downstream tooling
+# (same run as the gate above, so it cannot disagree with it).
+mkdir -p target
+cargo run -q -p odb-analyzer -- --json > target/analyzer_report.json
+
+# Lint-catalog drift check: the README's catalog table must list exactly
+# the lints the binary registers (`--list-lints` prints the stable id as
+# the first token of each line; the README rows carry it as `` `id` ``).
+diff <(cargo run -q -p odb-analyzer -- --list-lints | awk '{print $1}' | sort) \
+     <(sed -n '/<!-- lint-catalog:begin -->/,/<!-- lint-catalog:end -->/p' README.md \
+         | sed -n 's/^| `\([a-z_]*\)`.*/\1/p' | sort) \
+  || { echo "ci.sh: README lint catalog drifted from odb-analyzer --list-lints" >&2; exit 1; }
+
+# Burn-down ratchet: the analyzer above enforces "no worse than
 # baseline"; this check pins the baseline itself at zero for every
-# audited crate, so a future change cannot quietly re-baseline a panic
-# site back into the simulation core.
+# audited crate and every section ([panic_sites] and [determinism]), so
+# a future change cannot quietly re-baseline a panic site or a
+# determinism hazard back into the simulation core.
 if grep -Eq '^[a-z_]+ *= *[1-9]' crates/analyzer/baseline.toml; then
-  echo "ci.sh: nonzero panic_sites entry in crates/analyzer/baseline.toml:" >&2
+  echo "ci.sh: nonzero baseline entry in crates/analyzer/baseline.toml:" >&2
   grep -E '^[a-z_]+ *= *[1-9]' crates/analyzer/baseline.toml >&2
   exit 1
 fi
@@ -34,6 +48,10 @@ fi
 BENCH_ARGS=(--quick-only --jobs 4 --out target/BENCH_sweep.json)
 if [ "$(nproc)" -ge 4 ]; then
   BENCH_ARGS+=(--min-speedup 1.5)
+else
+  echo "ci.sh: WARNING: only $(nproc) core(s) — the parallel-sweep speedup is" >&2
+  echo "ci.sh: WARNING: UNVERIFIED on this host (byte-identity still checked);" >&2
+  echo "ci.sh: WARNING: the bench stamps \"parallel_unverified\" on 1-core output." >&2
 fi
 if [ "${ODB_BENCH_GATE:-0}" = "1" ]; then
   BENCH_ARGS+=(--baseline results/BENCH_sweep.json --max-regress 0.25)

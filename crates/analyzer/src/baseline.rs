@@ -1,21 +1,33 @@
-//! The panic-site burn-down baseline.
+//! The burn-down baselines.
 //!
-//! `crates/analyzer/baseline.toml` records how many non-test panic sites
-//! each audited crate is *allowed* to have. The gate fails when a crate
-//! grows beyond its entry (ratchet up is forbidden); shrinking below it
-//! produces a friendly notice to re-run `--update-baseline` so the
-//! ratchet tightens. The file is a single `[panic_sites]` table of
-//! `crate = count` pairs, parsed here without a TOML dependency.
+//! `crates/analyzer/baseline.toml` records, per ratcheted pass family
+//! and per audited crate, how many counted sites the tree is *allowed*
+//! to have. Two sections exist today:
+//!
+//! * `[panic_sites]` — non-test `unwrap()`/`expect()`/`panic!`-family
+//!   sites in the panic-audited crates;
+//! * `[determinism]` — determinism-pass sites (unordered iteration,
+//!   ambient nondeterminism, RNG discipline, float accumulation order)
+//!   in the determinism-audited crates.
+//!
+//! The gate fails when a crate grows beyond its entry (ratchet up is
+//! forbidden); shrinking below it produces a friendly notice to re-run
+//! `--update-baseline` so the ratchet tightens. A missing section (or a
+//! missing file) allows nothing: every counted site is then a violation,
+//! which forces baselines to be checked in rather than grandfathered
+//! invisibly. Parsed here without a TOML dependency.
 
-use crate::report::Violation;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-/// Allowed panic-site counts per audited crate.
+/// The baseline sections the analyzer knows about, in file order.
+pub const SECTIONS: &[&str] = &["panic_sites", "determinism"];
+
+/// Allowed site counts per `(section, crate)`.
 #[derive(Debug, Default, Clone)]
 pub struct Baseline {
-    counts: BTreeMap<String, usize>,
+    sections: BTreeMap<String, BTreeMap<String, usize>>,
 }
 
 /// Why a baseline could not be loaded.
@@ -43,32 +55,40 @@ impl Baseline {
         Self::parse(&text)
     }
 
-    /// Parses baseline text: comments, blank lines, a `[panic_sites]`
-    /// header, then `name = count` pairs.
+    /// Parses baseline text: comments, blank lines, `[section]` headers
+    /// from [`SECTIONS`], then `crate = count` pairs under each.
     pub fn parse(text: &str) -> Result<Baseline, LoadError> {
-        let mut counts = BTreeMap::new();
-        let mut in_section = false;
+        let mut sections: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<String> = None;
         for (n, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             if line.starts_with('[') {
-                in_section = line == "[panic_sites]";
-                if !in_section {
+                let name = line.trim_matches(|c| c == '[' || c == ']').to_owned();
+                if !SECTIONS.contains(&name.as_str()) {
                     return Err(LoadError::Malformed(format!(
                         "line {}: unknown section {line}",
                         n + 1
                     )));
                 }
+                if sections.contains_key(&name) {
+                    return Err(LoadError::Malformed(format!(
+                        "line {}: duplicate section {line}",
+                        n + 1
+                    )));
+                }
+                sections.insert(name.clone(), BTreeMap::new());
+                current = Some(name);
                 continue;
             }
-            if !in_section {
+            let Some(section) = &current else {
                 return Err(LoadError::Malformed(format!(
-                    "line {}: entry before [panic_sites] header",
+                    "line {}: entry before any section header",
                     n + 1
                 )));
-            }
+            };
             let Some((key, value)) = line.split_once('=') else {
                 return Err(LoadError::Malformed(format!(
                     "line {}: expected `crate = count`, got {line:?}",
@@ -79,64 +99,58 @@ impl Baseline {
             let count: usize = value.trim().parse().map_err(|e| {
                 LoadError::Malformed(format!("line {}: bad count {:?}: {e}", n + 1, value.trim()))
             })?;
-            if counts.insert(key.clone(), count).is_some() {
+            let entries = sections.entry(section.clone()).or_default();
+            if entries.insert(key.clone(), count).is_some() {
                 return Err(LoadError::Malformed(format!(
                     "line {}: duplicate entry for `{key}`",
                     n + 1
                 )));
             }
         }
-        Ok(Baseline { counts })
+        Ok(Baseline { sections })
     }
 
-    /// Builds a baseline from freshly measured counts.
-    pub fn from_counts(counts: &[(String, usize)]) -> Baseline {
-        Baseline {
-            counts: counts.iter().cloned().collect(),
+    /// Builds a baseline from freshly measured `(section, crate, count)`
+    /// triples.
+    pub fn from_counts<'a, I>(counts: I) -> Baseline
+    where
+        I: IntoIterator<Item = (&'a str, &'a str, usize)>,
+    {
+        let mut sections: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (section, krate, count) in counts {
+            sections
+                .entry(section.to_owned())
+                .or_default()
+                .insert(krate.to_owned(), count);
         }
+        Baseline { sections }
     }
 
-    /// The allowed count for `krate` (0 when the crate has no entry).
-    pub fn allowed(&self, krate: &str) -> usize {
-        self.counts.get(krate).copied().unwrap_or(0)
+    /// The allowed count for `krate` under `section` (0 when absent —
+    /// absence never grants headroom).
+    pub fn allowed(&self, section: &str, krate: &str) -> usize {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(krate))
+            .copied()
+            .unwrap_or(0)
     }
 
-    /// Holds measured `counts` against the baseline: growth is a
-    /// violation, shrinkage a notice suggesting `--update-baseline`.
-    pub fn check(
-        &self,
-        counts: &[(String, usize)],
-        violations: &mut Vec<Violation>,
-        notices: &mut Vec<String>,
-    ) {
-        for (krate, actual) in counts {
-            let allowed = self.allowed(krate);
-            if *actual > allowed {
-                violations.push(Violation::baseline(format!(
-                    "crate `{krate}` has {actual} non-test panic site(s), baseline allows \
-                     {allowed}; remove the new unwrap()/expect()/panic! (run with \
-                     --verbose to list every counted site) or annotate a justified one \
-                     with `// analyzer:allow(panic)`"
-                )));
-            } else if *actual < allowed {
-                notices.push(format!(
-                    "crate `{krate}` is down to {actual} panic site(s) (baseline {allowed}); \
-                     run `cargo run -p odb-analyzer -- --update-baseline` to ratchet down"
-                ));
-            }
-        }
-    }
-
-    /// Serialises to the on-disk format.
+    /// Serialises to the on-disk format, with [`SECTIONS`] order.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# Panic-site burn-down baseline. Maintained by `odb-analyzer`:\n\
+            "# Burn-down baselines. Maintained by `odb-analyzer`:\n\
              # counts may only go DOWN; regenerate with\n\
-             #   cargo run -p odb-analyzer -- --update-baseline\n\
-             \n[panic_sites]\n",
+             #   cargo run -p odb-analyzer -- --update-baseline\n",
         );
-        for (krate, count) in &self.counts {
-            out.push_str(&format!("{krate} = {count}\n"));
+        for section in SECTIONS {
+            let Some(entries) = self.sections.get(*section) else {
+                continue;
+            };
+            out.push_str(&format!("\n[{section}]\n"));
+            for (krate, count) in entries {
+                out.push_str(&format!("{krate} = {count}\n"));
+            }
         }
         out
     }
@@ -156,13 +170,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_roundtrip() {
-        let base = Baseline::from_counts(&[("core".into(), 0), ("engine".into(), 12)]);
+    fn parse_roundtrip_multi_section() {
+        let base = Baseline::from_counts([
+            ("panic_sites", "core", 0usize),
+            ("panic_sites", "engine", 12),
+            ("determinism", "core", 0),
+            ("determinism", "memsim", 3),
+        ]);
         let text = base.render();
         let again = Baseline::parse(&text).expect("roundtrip parses");
-        assert_eq!(again.allowed("core"), 0);
-        assert_eq!(again.allowed("engine"), 12);
-        assert_eq!(again.allowed("absent"), 0);
+        assert_eq!(again.allowed("panic_sites", "core"), 0);
+        assert_eq!(again.allowed("panic_sites", "engine"), 12);
+        assert_eq!(again.allowed("determinism", "memsim"), 3);
+        assert_eq!(again.allowed("determinism", "absent"), 0);
+        assert_eq!(again.allowed("unknown_section", "core"), 0);
+    }
+
+    #[test]
+    fn missing_section_allows_nothing() {
+        let base = Baseline::parse("[panic_sites]\ncore = 2\n").expect("parses");
+        assert_eq!(base.allowed("panic_sites", "core"), 2);
+        assert_eq!(base.allowed("determinism", "core"), 0);
     }
 
     #[test]
@@ -183,21 +211,9 @@ mod tests {
             Baseline::parse("[panic_sites]\ncore = 1\ncore = 2"),
             Err(LoadError::Malformed(_))
         ));
-    }
-
-    #[test]
-    fn check_flags_growth_and_notices_shrinkage() {
-        let base = Baseline::parse("[panic_sites]\ncore = 2\nengine = 5\n").expect("parses");
-        let mut violations = Vec::new();
-        let mut notices = Vec::new();
-        base.check(
-            &[("core".into(), 3), ("engine".into(), 4)],
-            &mut violations,
-            &mut notices,
-        );
-        assert_eq!(violations.len(), 1);
-        assert!(violations[0].message.contains("`core`"));
-        assert_eq!(notices.len(), 1);
-        assert!(notices[0].contains("`engine`"));
+        assert!(matches!(
+            Baseline::parse("[panic_sites]\n[panic_sites]\n"),
+            Err(LoadError::Malformed(_))
+        ));
     }
 }

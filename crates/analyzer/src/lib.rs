@@ -6,48 +6,47 @@
 //! while still looking plausible. This crate is the static half of the
 //! project's correctness tooling (the dynamic half is the `invariants`
 //! cargo feature on the simulation crates): a dependency-free scanner
-//! that walks the workspace source tree and enforces lints no generic
-//! tool knows about:
+//! that walks the workspace source tree and runs a registry of passes
+//! ([`passes::registry`]) no generic tool knows about.
 //!
-//! * **panic sites** ([`lints::panic_sites`]) — `unwrap()` / `expect()` /
-//!   `panic!`-family macros are forbidden in non-test simulation library
-//!   code. Existing sites are held by a checked-in, burn-down-only
-//!   baseline ([`baseline`]); intentional contract panics carry an
-//!   explicit `// analyzer:allow(panic)` comment.
-//! * **lock order** ([`lints::lock_order`]) — every `.acquire(` call site
-//!   must sit in a file that canonically orders its targets
-//!   (`sort_by_key(canonical_order)`) before acquiring, the project's
-//!   deadlock-freedom discipline.
-//! * **raw time** ([`lints::raw_time`]) — floating-point construction of
-//!   simulated time (`from_secs_f64`, `from_nanos(x as u64)` casts) is
-//!   confined to `crates/des/src/time.rs`, which owns the rounding and
-//!   clamping contracts.
-//! * **observer seam** ([`lints::observer_seam`]) — `.emit(`/`.emit_with(`
-//!   observer-hook calls in the simulation crates must not sit inside
-//!   `#[cfg(feature = …)]` blocks: the event stream has to be identical in
-//!   every build flavour (gate the observer *registration* instead).
-//! * **stray files** ([`lints::stray_files`]) — editor/backup droppings
-//!   (`*.tmp`, `*.bak`, …) anywhere in the repository, and orphan `.rs`
-//!   modules under any crate's `src/` that no `mod` declaration reaches.
-//! * **hot-path allocation** ([`lints::hot_path_alloc`]) — heap
-//!   allocation (`collect()`, `to_vec()`, `Vec::new()`) inside the
-//!   audited per-reference functions of `odb-memsim`'s characterization
-//!   loop; deliberate cases live in `crates/analyzer/hot_path_allow.txt`.
+//! Each pass is a [`passes::Pass`]: a stable lint id, a one-line
+//! description (`--list-lints`), and span-carrying diagnostics. The
+//! current catalog:
 //!
-//! Escape hatch: a `// analyzer:allow(<lint>)` comment on the offending
-//! line, or on the line directly above it, suppresses that lint there.
+//! * **panic** — `unwrap()`/`expect()`/`panic!`-family calls in non-test
+//!   simulation library code, ratcheted by the `[panic_sites]` baseline;
+//! * **lock_order** — `.acquire(` call sites must canonically order lock
+//!   targets first (deadlock-freedom discipline);
+//! * **raw_time** — floating-point `SimTime` construction is confined to
+//!   `crates/des/src/time.rs`;
+//! * **observer_seam** — observer-hook emissions must fire in every
+//!   build flavour (never inside `#[cfg(feature = …)]`);
+//! * **stray_file** — editor droppings and orphan modules;
+//! * **hot_path_alloc** — no heap allocation in the audited
+//!   per-reference hot-path functions of `odb-memsim`;
+//! * **unordered_iteration**, **ambient_nondeterminism**,
+//!   **rng_discipline**, **float_accumulation** — the determinism-audit
+//!   family ([`passes::determinism`]) certifying the bit-exactness
+//!   contract, ratcheted by the `[determinism]` baseline.
+//!
+//! Escape hatch (all passes, one syntax): `// odb-analyzer: allow(<lint>)`
+//! on the offending line, or on the line directly above it. The legacy
+//! `// analyzer:allow(<lint>)` spelling still works but draws a
+//! deprecation notice.
 //!
 //! Run as `cargo run -p odb-analyzer`; exits non-zero on any violation.
+//! `--json` renders a machine-readable report for CI archival.
 
 // Unit tests use unwrap() freely; the workspace-level
 // `clippy::unwrap_used` deny applies to shipped code only.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod baseline;
-pub mod lints;
+pub mod passes;
 pub mod report;
 pub mod source;
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Everything one analysis run produced.
@@ -55,10 +54,11 @@ use std::path::{Path, PathBuf};
 pub struct Analysis {
     /// Violations that fail the gate, in discovery order.
     pub violations: Vec<report::Violation>,
-    /// Non-fatal notices (e.g. a stale, too-high baseline entry).
+    /// Non-fatal notices (deprecations, ratchet-down suggestions).
     pub notices: Vec<String>,
-    /// Non-test panic sites actually counted, per audited crate.
-    pub panic_counts: Vec<(String, usize)>,
+    /// Counted (baseline-ratcheted) sites per `(section, crate)`,
+    /// including zero-count entries for every audited crate.
+    pub counted: BTreeMap<(String, String), Vec<passes::CountedSite>>,
 }
 
 impl Analysis {
@@ -66,44 +66,75 @@ impl Analysis {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Counted sites per crate under one baseline section, in crate
+    /// order.
+    pub fn section_counts(&self, section: &str) -> Vec<(&str, usize)> {
+        self.counted
+            .iter()
+            .filter(|((sec, _), _)| sec == section)
+            .map(|((_, krate), sites)| (krate.as_str(), sites.len()))
+            .collect()
+    }
+
+    /// Total counted sites across all sections.
+    pub fn total_counted(&self) -> usize {
+        self.counted.values().map(Vec::len).sum()
+    }
 }
 
-/// Runs every lint over the workspace rooted at `root` (the directory
-/// holding the top-level `Cargo.toml` and `crates/`).
+/// Runs every registered pass over the workspace rooted at `root` (the
+/// directory holding the top-level `Cargo.toml` and `crates/`), then
+/// holds the counted sites against the checked-in baseline.
 ///
 /// # Errors
 ///
 /// Returns an error string when the tree cannot be read at all (missing
-/// `crates/` directory, unreadable baseline file); individual unreadable
+/// `crates/` directory, malformed baseline file); individual unreadable
 /// files are reported as violations instead of aborting the run.
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
     let model = source::WorkspaceModel::load(root)?;
-    let mut violations = Vec::new();
-    let mut notices = Vec::new();
+    let mut ctx = passes::PassContext::default();
+    for pass in passes::registry() {
+        pass.run(&model, &mut ctx);
+    }
 
-    let panic_counts = lints::panic_sites(&model, &mut violations);
-    lints::lock_order(&model, &mut violations);
-    lints::raw_time(&model, &mut violations);
-    lints::observer_seam(&model, &mut violations);
-    lints::stray_files(&model, &mut violations);
-    lints::hot_path_alloc(&model, &mut violations);
+    // Legacy escape-syntax deprecation notices: the old
+    // `// analyzer:allow(...)` spelling still silences lints, but the
+    // unified `// odb-analyzer: allow(...)` spelling is canonical.
+    for krate in &model.crates {
+        for file in &krate.src_files {
+            if !file.legacy_allow_lines.is_empty() {
+                let lines: Vec<String> = file
+                    .legacy_allow_lines
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                ctx.note(format!(
+                    "{}: legacy `// analyzer:allow(...)` escape on line(s) {} — \
+                     migrate to `// odb-analyzer: allow(...)`",
+                    file.rel_path,
+                    lines.join(", ")
+                ));
+            }
+        }
+    }
 
     let baseline_path = baseline_path(root);
-    match baseline::Baseline::load(&baseline_path) {
-        Ok(base) => base.check(&panic_counts, &mut violations, &mut notices),
+    let base = match baseline::Baseline::load(&baseline_path) {
+        Ok(base) => base,
         Err(baseline::LoadError::Missing) => {
-            // No baseline at all: every panic site is a violation, which
-            // forces a baseline to be checked in rather than grandfathered
-            // invisibly.
-            for (krate, count) in &panic_counts {
-                if *count > 0 {
-                    violations.push(report::Violation::baseline(format!(
-                        "crate `{krate}` has {count} panic site(s) but no baseline exists at \
-                         {}; run with --update-baseline to record them",
-                        baseline_path.display()
-                    )));
-                }
+            // No baseline at all: nothing is allowed, so every counted
+            // site below becomes a violation — forcing a baseline to be
+            // checked in rather than grandfathered invisibly.
+            if ctx.counted.values().any(|sites| !sites.is_empty()) {
+                ctx.note(format!(
+                    "no baseline exists at {}; run with --update-baseline to record \
+                     the current counts",
+                    baseline_path.display()
+                ));
             }
+            baseline::Baseline::default()
         }
         Err(baseline::LoadError::Malformed(why)) => {
             return Err(format!(
@@ -111,32 +142,68 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
                 baseline_path.display()
             ));
         }
+    };
+
+    for ((section, krate), sites) in &ctx.counted {
+        let allowed = base.allowed(section, krate);
+        let count = sites.len();
+        if count > allowed {
+            for site in sites {
+                ctx.violations.push(report::Violation::new(
+                    site.lint,
+                    &site.path,
+                    site.line,
+                    format!(
+                        "{} [crate `{krate}` has {count} counted site(s) under \
+                         [{section}], baseline allows {allowed}]",
+                        site.message
+                    ),
+                ));
+            }
+        } else if count < allowed {
+            ctx.notices.push(format!(
+                "crate `{krate}` is below its [{section}] baseline ({count} < {allowed}); \
+                 run with --update-baseline to ratchet it down"
+            ));
+        }
     }
 
     Ok(Analysis {
-        violations,
-        notices,
-        panic_counts,
+        violations: ctx.violations,
+        notices: ctx.notices,
+        counted: ctx.counted,
     })
 }
 
-/// Where the panic-site baseline lives, relative to the workspace root.
+/// Where the burn-down baseline lives, relative to the workspace root.
 pub fn baseline_path(root: &Path) -> PathBuf {
     root.join("crates").join("analyzer").join("baseline.toml")
 }
 
-/// Re-counts panic sites and rewrites the baseline file.
+/// Re-counts every baseline-ratcheted site and rewrites the baseline
+/// file, returning `(section, crate, count)` triples in file order.
 ///
 /// # Errors
 ///
 /// Returns an error string when the tree or the baseline file cannot be
 /// accessed.
-pub fn update_baseline(root: &Path) -> Result<Vec<(String, usize)>, String> {
+pub fn update_baseline(root: &Path) -> Result<Vec<(String, String, usize)>, String> {
     let model = source::WorkspaceModel::load(root)?;
-    let mut scratch = Vec::new();
-    let counts = lints::panic_sites(&model, &mut scratch);
-    baseline::Baseline::from_counts(&counts)
-        .store(&baseline_path(root))
-        .map_err(|e| format!("writing baseline: {e}"))?;
+    let mut ctx = passes::PassContext::default();
+    for pass in passes::registry() {
+        pass.run(&model, &mut ctx);
+    }
+    let counts: Vec<(String, String, usize)> = ctx
+        .counted
+        .iter()
+        .map(|((section, krate), sites)| (section.clone(), krate.clone(), sites.len()))
+        .collect();
+    baseline::Baseline::from_counts(
+        counts
+            .iter()
+            .map(|(section, krate, count)| (section.as_str(), krate.as_str(), *count)),
+    )
+    .store(&baseline_path(root))
+    .map_err(|e| format!("writing baseline: {e}"))?;
     Ok(counts)
 }

@@ -13,19 +13,22 @@ USAGE:
 
 OPTIONS:
     --root <DIR>         workspace root (default: autodetected)
-    --update-baseline    re-count panic sites and rewrite crates/analyzer/baseline.toml
-    --verbose            list every counted panic site per audited crate
+    --json               print a machine-readable report (odb-analyzer-report-v1)
+    --list-lints         print one line per registered lint (id first) and exit
+    --update-baseline    re-count ratcheted sites and rewrite crates/analyzer/baseline.toml
+    --verbose            list every counted (baseline-ratcheted) site
     --help               show this help
 
-Lints: panic-site baseline (burn-down), lock_order, raw_time,
-observer_seam, stray_file.
-Escape hatch: `// analyzer:allow(<lint>)` on the offending line or the
-line directly above it.";
+Run `--list-lints` for the pass catalog.
+Escape hatch: `// odb-analyzer: allow(<lint>)` on the offending line or
+the line directly above it.";
 
 struct Options {
     root: Option<PathBuf>,
     update_baseline: bool,
     verbose: bool,
+    json: bool,
+    list_lints: bool,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -33,6 +36,8 @@ fn parse_args() -> Result<Option<Options>, String> {
         root: None,
         update_baseline: false,
         verbose: false,
+        json: false,
+        list_lints: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +45,8 @@ fn parse_args() -> Result<Option<Options>, String> {
             "--help" | "-h" => return Ok(None),
             "--update-baseline" => opts.update_baseline = true,
             "--verbose" | "-v" => opts.verbose = true,
+            "--json" => opts.json = true,
+            "--list-lints" => opts.list_lints = true,
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
@@ -82,6 +89,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.list_lints {
+        // One line per pass: the stable id first (machine-parsed by the
+        // ci drift check against the README catalog), then the
+        // description and baseline section.
+        for pass in odb_analyzer::passes::registry() {
+            let section = pass
+                .baseline_section()
+                .map(|s| format!("  [baseline: {s}]"))
+                .unwrap_or_default();
+            println!("{:<24} {}{section}", pass.lint().name(), pass.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let root = find_root(&opts);
 
     if opts.update_baseline {
@@ -91,8 +113,13 @@ fn main() -> ExitCode {
                     "baseline written to {}",
                     odb_analyzer::baseline_path(&root).display()
                 );
-                for (krate, count) in counts {
-                    println!("  {krate} = {count}");
+                let mut last_section = String::new();
+                for (section, krate, count) in counts {
+                    if section != last_section {
+                        println!("  [{section}]");
+                        last_section = section;
+                    }
+                    println!("    {krate} = {count}");
                 }
                 ExitCode::SUCCESS
             }
@@ -111,19 +138,28 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.json {
+        let lints: Vec<(odb_analyzer::report::Lint, &str)> = odb_analyzer::passes::registry()
+            .iter()
+            .map(|p| (p.lint(), p.description()))
+            .collect();
+        print!("{}", odb_analyzer::report::render_json(&analysis, &lints));
+        return if analysis.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     if opts.verbose {
-        match odb_analyzer::source::WorkspaceModel::load(&root) {
-            Ok(model) => {
-                for name in odb_analyzer::lints::PANIC_AUDITED {
-                    let Some(krate) = model.get(name) else { continue };
-                    let sites = odb_analyzer::lints::describe_panic_sites(krate);
-                    println!("crate `{name}`: {} counted panic site(s)", sites.len());
-                    for site in sites {
-                        println!("  {site}");
-                    }
-                }
+        for ((section, krate), sites) in &analysis.counted {
+            println!(
+                "[{section}] crate `{krate}`: {} counted site(s)",
+                sites.len()
+            );
+            for site in sites {
+                println!("  {}:{}: [{}]", site.path, site.line, site.lint.name());
             }
-            Err(why) => eprintln!("error (verbose listing): {why}"),
         }
     }
 
@@ -131,10 +167,11 @@ fn main() -> ExitCode {
         println!("note: {notice}");
     }
     if analysis.is_clean() {
-        let total: usize = analysis.panic_counts.iter().map(|(_, c)| c).sum();
         println!(
-            "odb-analyzer: clean ({total} baselined panic site(s) across {} audited crate(s))",
-            analysis.panic_counts.len()
+            "odb-analyzer: clean ({} baselined site(s) across {} (section, crate) entr{})",
+            analysis.total_counted(),
+            analysis.counted.len(),
+            if analysis.counted.len() == 1 { "y" } else { "ies" }
         );
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,138 @@
+//! The hot-path allocation pass: no heap allocation in the audited
+//! per-reference functions of the characterization loop.
+
+use super::{mark_fn_bodies, Pass, PassContext};
+use crate::report::{Lint, Violation};
+use crate::source::WorkspaceModel;
+use std::collections::HashSet;
+
+/// The audited per-reference hot-path functions of `odb-memsim`, as
+/// `(file, function names)` pairs. These run once (or more) per sampled
+/// memory reference — billions of times per sweep — so a heap
+/// allocation inside them is a per-reference cost by construction.
+pub const HOT_PATH_AUDITED: &[(&str, &[&str])] = &[
+    (
+        "crates/memsim/src/trace.rs",
+        &[
+            "interleave",
+            "run_chunk",
+            "user_data_ref",
+            "os_data_ref",
+            "sync_directory",
+            "continue_run",
+            "draw_dwell",
+        ],
+    ),
+    ("crates/memsim/src/cache.rs", &["access"]),
+    (
+        "crates/memsim/src/hierarchy.rs",
+        &["fetch_code", "access_data", "descend"],
+    ),
+    ("crates/memsim/src/dist.rs", &["sample", "search_table"]),
+    ("crates/memsim/src/tlb.rs", &["access"]),
+    (
+        "crates/memsim/src/coherence.rs",
+        &["write_slice", "has_remote_holders"],
+    ),
+];
+
+/// Allocation tokens forbidden in the audited hot-path functions.
+const ALLOC_TOKENS: &[&str] = &[".collect(", ".collect::<", ".to_vec()", "Vec::new()"];
+
+/// The legacy allowlist for deliberate hot-path allocations, relative to
+/// the workspace root. One `path:function` entry per line; `#` comments.
+/// Deprecated in favour of `// odb-analyzer: allow(hot_path_alloc)` line
+/// escapes; entries still work but produce a migration notice.
+pub const HOT_PATH_ALLOWLIST: &str = "crates/analyzer/hot_path_allow.txt";
+
+/// Forbids per-reference heap allocation (`collect()`, `to_vec()`,
+/// `Vec::new()`) inside the [`HOT_PATH_AUDITED`] functions — the inner
+/// loop the whole sweep's wall-clock stands on. Deliberate cases carry a
+/// `// odb-analyzer: allow(hot_path_alloc)` line escape (the legacy
+/// [`HOT_PATH_ALLOWLIST`] file is still honoured, with a deprecation
+/// notice).
+pub struct HotPathAllocPass;
+
+impl Pass for HotPathAllocPass {
+    fn lint(&self) -> Lint {
+        Lint::HotPathAlloc
+    }
+
+    fn description(&self) -> &'static str {
+        "heap allocation inside the audited per-reference hot-path functions of odb-memsim"
+    }
+
+    fn run(&self, model: &WorkspaceModel, ctx: &mut PassContext) {
+        let allow = load_hot_path_allowlist(&model.root.join(HOT_PATH_ALLOWLIST));
+        if !allow.is_empty() {
+            ctx.note(format!(
+                "{HOT_PATH_ALLOWLIST} carries {} entr{} — the file is deprecated; \
+                 prefer a `// odb-analyzer: allow(hot_path_alloc)` escape on the \
+                 allocation line, which keeps the justification next to the code",
+                allow.len(),
+                if allow.len() == 1 { "y" } else { "ies" },
+            ));
+        }
+        hot_path_alloc_with(model, &allow, ctx);
+    }
+}
+
+/// Parses the allowlist file into `(path, function)` pairs; a missing
+/// or unreadable file is an empty allowlist (the lint then runs at full
+/// strictness rather than silently passing).
+fn load_hot_path_allowlist(path: &std::path::Path) -> HashSet<(String, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashSet::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let entry = line.split('#').next().unwrap_or("").trim();
+            if entry.is_empty() {
+                return None;
+            }
+            let (path, func) = entry.rsplit_once(':')?;
+            Some((path.trim().to_owned(), func.trim().to_owned()))
+        })
+        .collect()
+}
+
+/// The scan against an explicit allowlist (unit-testable).
+fn hot_path_alloc_with(
+    model: &WorkspaceModel,
+    allow: &HashSet<(String, String)>,
+    ctx: &mut PassContext,
+) {
+    let Some(krate) = model.get("memsim") else { return };
+    for (path, functions) in HOT_PATH_AUDITED {
+        let Some(file) = krate.src_files.iter().find(|f| f.rel_path == *path) else {
+            continue;
+        };
+        let audited: Vec<&str> = functions
+            .iter()
+            .copied()
+            .filter(|f| !allow.contains(&((*path).to_owned(), (*f).to_owned())))
+            .collect();
+        if audited.is_empty() {
+            continue;
+        }
+        let code_lines: Vec<&str> = file.lines.iter().map(|l| l.code.as_str()).collect();
+        let in_hot = mark_fn_bodies(&code_lines, &audited);
+        for (i, line) in file.lines.iter().enumerate() {
+            if !in_hot[i] || line.in_test || line.allows("hot_path_alloc") {
+                continue;
+            }
+            if ALLOC_TOKENS.iter().any(|t| line.code.contains(t)) {
+                ctx.push(Violation::new(
+                    Lint::HotPathAlloc,
+                    &file.rel_path,
+                    i + 1,
+                    "heap allocation (`collect()`/`to_vec()`/`Vec::new()`) inside a \
+                     per-reference hot-path function; hoist the buffer out of the \
+                     loop, or annotate with `// odb-analyzer: allow(hot_path_alloc)` \
+                     and justify"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}

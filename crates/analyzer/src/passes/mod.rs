@@ -1,0 +1,251 @@
+//! The pass registry: every lint is a [`Pass`] with a stable id, a
+//! one-line description, an optional baseline section, and a `run`
+//! method that pushes span-carrying diagnostics into a [`PassContext`].
+//!
+//! All passes share one escape syntax — `// odb-analyzer: allow(<id>)`
+//! on the offending line or the line directly above it — and two
+//! diagnostic channels:
+//!
+//! * **immediate violations** ([`PassContext::push`]) fail the gate
+//!   directly;
+//! * **counted sites** ([`PassContext::count_site`]) are held against
+//!   the per-crate burn-down baseline for the pass's section; growth
+//!   beyond the baseline turns each site into a violation.
+
+pub mod determinism;
+pub mod hot_path_alloc;
+pub mod lock_order;
+pub mod observer_seam;
+pub mod panic_sites;
+pub mod raw_time;
+pub mod stray_files;
+
+use crate::report::{Lint, Violation};
+use crate::source::WorkspaceModel;
+use std::collections::BTreeMap;
+
+/// One counted (baseline-ratcheted) site.
+#[derive(Debug, Clone)]
+pub struct CountedSite {
+    /// The lint that counted it.
+    pub lint: Lint,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found and how to fix it.
+    pub message: String,
+}
+
+/// Shared sink the passes write diagnostics into.
+#[derive(Debug, Default)]
+pub struct PassContext {
+    /// Gate-failing findings, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Non-fatal notices (deprecations, ratchet-down suggestions).
+    pub notices: Vec<String>,
+    /// Counted sites per `(baseline section, crate)`, including empty
+    /// entries for audited crates so the baseline can ratchet to zero.
+    pub counted: BTreeMap<(String, String), Vec<CountedSite>>,
+}
+
+impl PassContext {
+    /// Records a gate-failing violation.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Records a non-fatal notice.
+    pub fn note(&mut self, n: String) {
+        self.notices.push(n);
+    }
+
+    /// Registers `krate` under `section` (so a clean crate still gets a
+    /// zero count), returning the site vector to append to.
+    pub fn crate_sites(&mut self, section: &str, krate: &str) -> &mut Vec<CountedSite> {
+        self.counted
+            .entry((section.to_owned(), krate.to_owned()))
+            .or_default()
+    }
+
+    /// Appends one counted site for `krate` under `section`.
+    pub fn count_site(&mut self, section: &str, krate: &str, site: CountedSite) {
+        self.crate_sites(section, krate).push(site);
+    }
+}
+
+/// One static-analysis pass.
+pub trait Pass {
+    /// The lint this pass reports as (its [`Lint::name`] is the stable
+    /// id used by escapes, `--list-lints`, and the README catalog).
+    fn lint(&self) -> Lint;
+
+    /// One-line description for `--list-lints`.
+    fn description(&self) -> &'static str;
+
+    /// The baseline section this pass's counted sites ratchet under,
+    /// if it is baseline-ratcheted rather than hard-failing.
+    fn baseline_section(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Scans the workspace, pushing diagnostics into `ctx`.
+    fn run(&self, model: &WorkspaceModel, ctx: &mut PassContext);
+}
+
+/// Every pass, in execution (and `--list-lints`) order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(panic_sites::PanicSites),
+        Box::new(lock_order::LockOrderPass),
+        Box::new(raw_time::RawTimePass),
+        Box::new(observer_seam::ObserverSeamPass),
+        Box::new(stray_files::StrayFilesPass),
+        Box::new(hot_path_alloc::HotPathAllocPass),
+        Box::new(determinism::UnorderedIterationPass),
+        Box::new(determinism::AmbientNondeterminismPass),
+        Box::new(determinism::RngDisciplinePass),
+        Box::new(determinism::FloatAccumulationPass),
+    ]
+}
+
+/// Marks which lines sit inside a `#[cfg(feature = …)]` item, with the
+/// same brace-walking approach (and limitations) as the `#[cfg(test)]`
+/// marker in [`crate::source`].
+pub(crate) fn mark_cfg_feature(code_lines: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the innermost #[cfg(feature…)] item opened, if any.
+    let mut open_depth: Option<i64> = None;
+    let mut pending_attr = false;
+    for (i, raw) in code_lines.iter().enumerate() {
+        if open_depth.is_some() {
+            out[i] = true;
+        }
+        if open_depth.is_none() && raw.contains("#[cfg(") && raw.contains("feature") {
+            pending_attr = true;
+            out[i] = true;
+        }
+        for c in raw.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && open_depth.is_none() {
+                        open_depth = Some(depth);
+                        pending_attr = false;
+                        out[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open_depth == Some(depth) {
+                        open_depth = None;
+                        out[i] = true;
+                    }
+                }
+                // `#[cfg(feature = …)] use …;` or a bodyless statement.
+                ';' if pending_attr && open_depth.is_none() => {
+                    pending_attr = false;
+                    out[i] = true;
+                }
+                _ => {}
+            }
+        }
+        if open_depth.is_some() || pending_attr {
+            out[i] = true;
+        }
+    }
+    out
+}
+
+/// Marks which lines sit inside the body of any `fn <name>(`/`fn
+/// <name><` among `names`, with the same brace-walking approach (and
+/// limitations) as [`mark_cfg_feature`]. A bodyless declaration (trait
+/// method signature) opens nothing.
+pub(crate) fn mark_fn_bodies(code_lines: &[&str], names: &[&str]) -> Vec<bool> {
+    let mut out = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the innermost audited fn's body opened, if any.
+    let mut open_depth: Option<i64> = None;
+    let mut pending = false;
+    for (i, raw) in code_lines.iter().enumerate() {
+        if open_depth.is_some() {
+            out[i] = true;
+        }
+        if open_depth.is_none()
+            && !pending
+            && names.iter().any(|n| {
+                raw.contains(&format!("fn {n}(")) || raw.contains(&format!("fn {n}<"))
+            })
+        {
+            pending = true;
+            out[i] = true;
+        }
+        for c in raw.chars() {
+            match c {
+                '{' => {
+                    if pending && open_depth.is_none() {
+                        open_depth = Some(depth);
+                        pending = false;
+                        out[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open_depth == Some(depth) {
+                        open_depth = None;
+                        out[i] = true;
+                    }
+                }
+                // Trait-method signature without a body.
+                ';' if pending && open_depth.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        if open_depth.is_some() {
+            out[i] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn cfg_feature_regions_are_marked() {
+        let text = "\
+fn a(hub: &mut H) { hub.emit(now, &e); }
+#[cfg(feature = \"invariants\")]
+fn gated(hub: &mut H) {
+    hub.emit_with(now, || e);
+}
+#[cfg(feature = \"invariants\")]
+use helper::check;
+fn b(hub: &mut H) { hub.emit(now, &e); }
+";
+        let f = SourceFile::parse("crates/engine/src/x.rs".to_owned(), text);
+        let code: Vec<&str> = f.lines.iter().map(|l| l.code.as_str()).collect();
+        let marked = mark_cfg_feature(&code);
+        assert!(!marked[0], "plain code before the attribute");
+        assert!(marked[1] && marked[2] && marked[3] && marked[4], "gated fn");
+        assert!(marked[5] && marked[6], "bodyless gated item");
+        assert!(!marked[7], "code after the gated items");
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let passes = registry();
+        let mut ids: Vec<&str> = passes.iter().map(|p| p.lint().name()).collect();
+        let len = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), len, "duplicate lint id in the registry");
+        assert_eq!(len, 10, "registry size is part of the catalog contract");
+    }
+}

@@ -1,8 +1,12 @@
-//! Violation types and rendering.
+//! Violation types, lint identifiers, and rendering (text and JSON).
 
 use std::fmt;
 
 /// Which lint produced a violation.
+///
+/// The [`Lint::name`] string is the stable id: it is what
+/// `// odb-analyzer: allow(<lint>)` escapes name, what `--list-lints`
+/// prints, and what the README lint catalog is drift-checked against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
     /// Panic-site count exceeded (or missing) the checked-in baseline.
@@ -17,10 +21,19 @@ pub enum Lint {
     StrayFile,
     /// Heap allocation in an audited per-reference hot-path function.
     HotPathAlloc,
+    /// Hash-ordered collection (`HashMap`/`HashSet`) in simulation code.
+    UnorderedIteration,
+    /// Wall-clock, environment, or pointer-identity input in simulation code.
+    AmbientNondeterminism,
+    /// RNG construction outside the seeded `SimOptions::for_point` path.
+    RngDiscipline,
+    /// Float reduction over an unordered or thread-collected source.
+    FloatAccumulation,
 }
 
 impl Lint {
-    /// The short name used in output and in `analyzer:allow(...)` markers.
+    /// The short name used in output and in `odb-analyzer: allow(...)`
+    /// markers.
     pub fn name(self) -> &'static str {
         match self {
             Lint::PanicBaseline => "panic",
@@ -29,6 +42,10 @@ impl Lint {
             Lint::ObserverSeam => "observer_seam",
             Lint::StrayFile => "stray_file",
             Lint::HotPathAlloc => "hot_path_alloc",
+            Lint::UnorderedIteration => "unordered_iteration",
+            Lint::AmbientNondeterminism => "ambient_nondeterminism",
+            Lint::RngDiscipline => "rng_discipline",
+            Lint::FloatAccumulation => "float_accumulation",
         }
     }
 }
@@ -82,6 +99,89 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable `--json` report for an analysis. The
+/// format is hand-rolled (the gate stays dependency-free); consumers can
+/// rely on `schema` for versioning.
+pub fn render_json(analysis: &crate::Analysis, lints: &[(Lint, &str)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"odb-analyzer-report-v1\",\n");
+    s.push_str(&format!("  \"clean\": {},\n", analysis.is_clean()));
+    s.push_str("  \"lints\": [");
+    for (i, (lint, _)) in lints.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\"", lint.name()));
+    }
+    s.push_str("],\n");
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            v.lint.name(),
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message),
+            if i + 1 < analysis.violations.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"notices\": [\n");
+    for (i, n) in analysis.notices.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(n),
+            if i + 1 < analysis.notices.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"counts\": {");
+    let mut sections: Vec<&str> = analysis
+        .counted
+        .keys()
+        .map(|(section, _)| section.as_str())
+        .collect();
+    sections.dedup();
+    for (si, section) in sections.iter().enumerate() {
+        if si > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{section}\": {{"));
+        let mut first = true;
+        for ((sec, krate), sites) in &analysis.counted {
+            if sec != section {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{krate}\": {}", sites.len()));
+        }
+        s.push('}');
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +194,11 @@ mod tests {
         assert_eq!(w.to_string(), "[stray_file] junk.tmp: msg");
         let b = Violation::baseline("over".into());
         assert_eq!(b.to_string(), "[panic] over");
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

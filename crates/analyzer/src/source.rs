@@ -7,8 +7,14 @@
 //!
 //! * which lines sit inside a `#[cfg(test)]` item (tracked with a brace
 //!   counter over the blanked text), and
-//! * which `// analyzer:allow(<lint>)` markers are in force on each line
-//!   (a marker covers its own line and the line directly below it).
+//! * which escape markers are in force on each line (a marker covers its
+//!   own line and the line directly below it).
+//!
+//! The canonical escape spelling is `// odb-analyzer: allow(<lint>)`,
+//! shared by every pass. The pre-registry spelling
+//! `// analyzer:allow(<lint>)` is still honoured but recorded as
+//! deprecated; the report carries a migration notice for each file that
+//! still uses it.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -40,6 +46,9 @@ pub struct SourceFile {
     pub rel_path: String,
     /// Analyzed lines, index 0 = line 1.
     pub lines: Vec<Line>,
+    /// 1-based lines still using the deprecated `analyzer:allow(...)`
+    /// escape spelling (the markers are honoured; these feed a notice).
+    pub legacy_allow_lines: Vec<usize>,
 }
 
 impl SourceFile {
@@ -47,14 +56,19 @@ impl SourceFile {
     pub fn parse(rel_path: String, text: &str) -> SourceFile {
         let (blanked, comments) = blank_non_code(text);
         let mut allow_by_line: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut legacy_allow_lines = Vec::new();
         for (line_idx, comment) in comments {
-            for name in allow_markers(&comment) {
+            for (name, legacy) in allow_markers(&comment) {
+                if legacy {
+                    legacy_allow_lines.push(line_idx + 1);
+                }
                 // A marker covers its own line and the next one, so a
                 // comment line directly above the offending code works.
                 allow_by_line.entry(line_idx).or_default().push(name.clone());
                 allow_by_line.entry(line_idx + 1).or_default().push(name);
             }
         }
+        legacy_allow_lines.dedup();
         let code_lines: Vec<&str> = blanked.split('\n').collect();
         let in_test = mark_cfg_test(&code_lines);
         let lines = code_lines
@@ -66,7 +80,11 @@ impl SourceFile {
                 allows: allow_by_line.remove(&i).unwrap_or_default(),
             })
             .collect();
-        SourceFile { rel_path, lines }
+        SourceFile {
+            rel_path,
+            lines,
+            legacy_allow_lines,
+        }
     }
 
     /// Loads and parses the file at `abs`, reporting `rel_path` in output.
@@ -242,14 +260,26 @@ fn walk_files_pruned(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Extracts every `analyzer:allow(<name>)` marker from a comment.
-fn allow_markers(comment: &str) -> Vec<String> {
+/// Extracts every escape marker from a comment as `(name, legacy)`
+/// pairs. The canonical spelling is `odb-analyzer: allow(<name>)`
+/// (the space after the colon is optional); the deprecated pre-registry
+/// spelling `analyzer:allow(<name>)` still works and is reported as
+/// `legacy = true`.
+fn allow_markers(comment: &str) -> Vec<(String, bool)> {
     let mut names = Vec::new();
     let mut from = 0;
-    const KEY: &str = "analyzer:allow(";
+    const KEY: &str = "allow(";
     while let Some(pos) = comment[from..].find(KEY) {
-        let start = from + pos + KEY.len();
-        from = start;
+        let at = from + pos;
+        from = at + KEY.len();
+        // What sits before `allow(` decides whether this is a marker at
+        // all, and which spelling it uses.
+        let head = comment[..at].trim_end();
+        let Some(prefix) = head.strip_suffix("analyzer:") else {
+            continue;
+        };
+        let legacy = !prefix.ends_with("odb-");
+        let start = at + KEY.len();
         if let Some(end) = comment[start..].find(')') {
             let name = comment[start..start + end].trim();
             if !name.is_empty()
@@ -257,7 +287,7 @@ fn allow_markers(comment: &str) -> Vec<String> {
                     .chars()
                     .all(|c| c.is_ascii_alphanumeric() || c == '_')
             {
-                names.push(name.to_owned());
+                names.push((name.to_owned(), legacy));
             }
         }
     }
@@ -603,9 +633,9 @@ fn lib2() {}
     #[test]
     fn allow_markers_cover_their_line_and_the_next() {
         let text = "\
-// analyzer:allow(panic)
+// odb-analyzer: allow(panic)
 a.unwrap();
-b.unwrap(); // analyzer:allow(panic)
+b.unwrap(); // odb-analyzer: allow(panic)
 c.unwrap();
 ";
         let f = parse(text);
@@ -615,6 +645,22 @@ c.unwrap();
         // Line 3 is covered by the marker on line 2 (trailing markers
         // deliberately spill one line down; harmless in practice).
         assert!(!f.lines[3].allows("raw_time"));
+        assert!(f.legacy_allow_lines.is_empty(), "canonical spelling");
+    }
+
+    #[test]
+    fn legacy_allow_spelling_still_works_but_is_recorded() {
+        let text = "\
+// analyzer:allow(panic)
+a.unwrap();
+// odb-analyzer:allow(raw_time)
+t();
+";
+        let f = parse(text);
+        assert!(f.lines[0].allows("panic"));
+        assert!(f.lines[1].allows("panic"), "legacy marker still honoured");
+        assert!(f.lines[3].allows("raw_time"), "spaceless canonical form");
+        assert_eq!(f.legacy_allow_lines, vec![1], "only the legacy site");
     }
 
     #[test]

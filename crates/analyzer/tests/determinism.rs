@@ -1,0 +1,260 @@
+//! End-to-end tests for the determinism-audit pass family: each lint
+//! gets a positive fixture (must trip) and a negative fixture (must stay
+//! quiet), seeded into a miniature workspace — plus the self-audit test
+//! that `odb-analyzer` runs clean on its own tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use odb_analyzer::report::Lint;
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A throwaway workspace root, removed on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> TempTree {
+        let root = std::env::temp_dir().join(format!(
+            "odb-analyzer-det-{}-{}-{tag}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&root).expect("create temp root");
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        fs::write(path, content).expect("write file");
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A minimal clean workspace covering every determinism-audited crate,
+/// with both baseline sections ratcheted to zero.
+fn clean_tree(tag: &str) -> TempTree {
+    let t = TempTree::new(tag);
+    t.write(
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/*\"]\nresolver = \"2\"\n",
+    );
+    for name in ["core", "des", "engine", "memsim", "ossim", "iosim"] {
+        t.write(
+            &format!("crates/{name}/Cargo.toml"),
+            &format!("[package]\nname = \"odb-{name}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n"),
+        );
+        t.write(
+            &format!("crates/{name}/src/lib.rs"),
+            "//! Minimal.\npub fn touch() -> u32 { 1 }\n",
+        );
+    }
+    t.write(
+        "crates/analyzer/baseline.toml",
+        "[panic_sites]\ncore = 0\ndes = 0\nengine = 0\nmemsim = 0\n\n\
+         [determinism]\ncore = 0\ndes = 0\nengine = 0\niosim = 0\nmemsim = 0\nossim = 0\n",
+    );
+    t
+}
+
+fn lints_fired(root: &Path) -> Vec<Lint> {
+    let analysis = odb_analyzer::analyze(root).expect("analysis runs");
+    analysis.violations.iter().map(|v| v.lint).collect()
+}
+
+/// Seeds `fixture` as `crates/des/src/lib.rs` and returns the fired
+/// lints.
+fn fired_with_fixture(tag: &str, fixture: &str) -> Vec<Lint> {
+    let t = clean_tree(tag);
+    t.write("crates/des/src/lib.rs", fixture);
+    lints_fired(&t.root)
+}
+
+#[test]
+fn determinism_clean_tree_passes() {
+    let t = clean_tree("clean");
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "expected clean, got: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn unordered_iteration_positive_trips() {
+    let fired = fired_with_fixture(
+        "unord-pos",
+        include_str!("fixtures/unordered_iteration_pos.rs"),
+    );
+    assert!(fired.contains(&Lint::UnorderedIteration), "fired: {fired:?}");
+}
+
+#[test]
+fn unordered_iteration_negative_is_quiet() {
+    let fired = fired_with_fixture(
+        "unord-neg",
+        include_str!("fixtures/unordered_iteration_neg.rs"),
+    );
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn ambient_nondeterminism_positive_trips() {
+    let fired = fired_with_fixture(
+        "ambient-pos",
+        include_str!("fixtures/ambient_nondeterminism_pos.rs"),
+    );
+    assert!(
+        fired.contains(&Lint::AmbientNondeterminism),
+        "fired: {fired:?}"
+    );
+}
+
+#[test]
+fn ambient_nondeterminism_negative_is_quiet() {
+    let fired = fired_with_fixture(
+        "ambient-neg",
+        include_str!("fixtures/ambient_nondeterminism_neg.rs"),
+    );
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn rng_discipline_positive_trips_both_shapes() {
+    let t = clean_tree("rng-pos");
+    t.write(
+        "crates/des/src/lib.rs",
+        include_str!("fixtures/rng_discipline_pos.rs"),
+    );
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    let rng: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.lint == Lint::RngDiscipline)
+        .collect();
+    assert_eq!(rng.len(), 2, "entropy + literal seed: {rng:?}");
+}
+
+#[test]
+fn rng_discipline_negative_is_quiet() {
+    let fired = fired_with_fixture("rng-neg", include_str!("fixtures/rng_discipline_neg.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn float_accumulation_positive_trips() {
+    let fired = fired_with_fixture(
+        "float-pos",
+        include_str!("fixtures/float_accumulation_pos.rs"),
+    );
+    assert_eq!(
+        fired,
+        vec![Lint::FloatAccumulation],
+        "the fixture isolates exactly one lint"
+    );
+}
+
+#[test]
+fn float_accumulation_negative_is_quiet() {
+    let fired = fired_with_fixture(
+        "float-neg",
+        include_str!("fixtures/float_accumulation_neg.rs"),
+    );
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn determinism_sites_are_baseline_ratcheted_not_hard_failed() {
+    // With a baseline entry covering the site, the gate stays green …
+    let t = clean_tree("ratchet");
+    t.write(
+        "crates/des/src/lib.rs",
+        include_str!("fixtures/unordered_iteration_pos.rs"),
+    );
+    t.write(
+        "crates/analyzer/baseline.toml",
+        "[panic_sites]\ncore = 0\ndes = 0\nengine = 0\nmemsim = 0\n\n\
+         [determinism]\ncore = 0\ndes = 1\nengine = 0\niosim = 0\nmemsim = 0\nossim = 0\n",
+    );
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "baselined site should pass: {:?}",
+        analysis.violations
+    );
+
+    // … and a below-baseline count produces the ratchet-down notice.
+    let t2 = clean_tree("ratchet-down");
+    t2.write(
+        "crates/analyzer/baseline.toml",
+        "[panic_sites]\ncore = 0\ndes = 0\nengine = 0\nmemsim = 0\n\n\
+         [determinism]\ncore = 0\ndes = 1\nengine = 0\niosim = 0\nmemsim = 0\nossim = 0\n",
+    );
+    let analysis2 = odb_analyzer::analyze(&t2.root).expect("analysis runs");
+    assert!(analysis2.is_clean());
+    assert!(
+        analysis2.notices.iter().any(|n| n.contains("ratchet")),
+        "notices: {:?}",
+        analysis2.notices
+    );
+}
+
+#[test]
+fn legacy_escape_spelling_draws_a_deprecation_notice() {
+    let t = clean_tree("legacy");
+    t.write(
+        "crates/des/src/lib.rs",
+        "//! Minimal.\n\
+         // analyzer:allow(unordered_iteration) — legacy spelling\n\
+         pub struct S { pub m: std::collections::HashMap<u64, u64> }\n",
+    );
+    let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "legacy escape still silences: {:?}",
+        analysis.violations
+    );
+    assert!(
+        analysis
+            .notices
+            .iter()
+            .any(|n| n.contains("legacy") && n.contains("odb-analyzer: allow")),
+        "notices: {:?}",
+        analysis.notices
+    );
+}
+
+/// The acceptance criterion in executable form: the analyzer runs clean
+/// on the workspace it ships in. Skipped when the build location no
+/// longer looks like the workspace (e.g. a copied-out binary).
+#[test]
+fn self_audit_own_tree_is_clean() {
+    let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") else {
+        return;
+    };
+    let root = Path::new(manifest).join("..").join("..");
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return;
+    }
+    let analysis = odb_analyzer::analyze(&root).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "self-audit found violations:\n{}",
+        analysis
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

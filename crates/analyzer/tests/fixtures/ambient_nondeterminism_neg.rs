@@ -1,0 +1,6 @@
+//! Fixture: diagnostics-only wall clock with a justified escape
+//! (negative — `ambient_nondeterminism` must stay quiet).
+pub fn phase_timer() -> std::time::Instant {
+    // odb-analyzer: allow(ambient_nondeterminism) — stderr diagnostics only
+    std::time::Instant::now()
+}

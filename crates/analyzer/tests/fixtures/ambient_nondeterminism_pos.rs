@@ -1,0 +1,5 @@
+//! Fixture: wall-clock time leaking into sim code (positive — must
+//! trip `ambient_nondeterminism`).
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

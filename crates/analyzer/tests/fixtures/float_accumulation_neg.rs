@@ -1,0 +1,5 @@
+//! Fixture: float reduction over an ordered slice (negative —
+//! `float_accumulation` must stay quiet).
+pub fn total(weights: &[f64]) -> f64 {
+    weights.iter().sum::<f64>()
+}

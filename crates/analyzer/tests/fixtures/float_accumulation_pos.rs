@@ -1,0 +1,7 @@
+//! Fixture: float reduction over an unordered source (positive — must
+//! trip `float_accumulation`; the unordered_iteration escape keeps the
+//! fixture single-lint).
+use std::collections::HashMap;
+
+// odb-analyzer: allow(unordered_iteration) — fixture isolates float_accumulation
+pub fn total(weights: &HashMap<u64, f64>) -> f64 { weights.values().sum::<f64>() }

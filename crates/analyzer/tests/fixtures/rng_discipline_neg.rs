@@ -1,0 +1,5 @@
+//! Fixture: per-component seed derived from the per-point splitmix
+//! path (negative — `rng_discipline` must stay quiet).
+pub fn derived(opts: &SimOptions, lane: u64) -> SmallRng {
+    SmallRng::seed_from_u64(opts.seed_for(lane))
+}

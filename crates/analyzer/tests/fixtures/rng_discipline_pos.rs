@@ -1,0 +1,9 @@
+//! Fixture: undisciplined RNG construction (positive — must trip
+//! `rng_discipline` twice: entropy seed and literal seed).
+pub fn fresh() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn fixed() -> SmallRng {
+    SmallRng::seed_from_u64(0xDEAD_BEEF)
+}

@@ -1,0 +1,14 @@
+//! Fixture: deterministic collections plus a justified escape
+//! (negative — `unordered_iteration` must stay quiet).
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub struct EventIndex {
+    by_actor: BTreeMap<u64, u64>,
+    // odb-analyzer: allow(unordered_iteration) — point access only, never iterated
+    scratch: HashMap<u64, u64>,
+}
+
+pub fn touch(idx: &EventIndex) -> usize {
+    idx.by_actor.len()
+}

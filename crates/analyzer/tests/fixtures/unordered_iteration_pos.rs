@@ -1,0 +1,11 @@
+//! Fixture: hash-keyed simulation state (positive — must trip
+//! `unordered_iteration`).
+use std::collections::HashMap;
+
+pub struct EventIndex {
+    by_actor: HashMap<u64, u64>,
+}
+
+pub fn touch(idx: &EventIndex) -> usize {
+    idx.by_actor.len()
+}

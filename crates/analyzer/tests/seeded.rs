@@ -335,7 +335,9 @@ fn update_baseline_then_clean() {
         "//! Doc.\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
     );
     let counts = odb_analyzer::update_baseline(&t.root).expect("baseline written");
-    assert!(counts.iter().any(|(k, c)| k == "core" && *c == 1));
+    assert!(counts
+        .iter()
+        .any(|(s, k, c)| s == "panic_sites" && k == "core" && *c == 1));
     let analysis = odb_analyzer::analyze(&t.root).expect("analysis runs");
     assert!(
         analysis.is_clean(),

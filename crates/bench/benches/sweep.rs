@@ -318,6 +318,12 @@ fn render_json(
     s.push_str("  \"schema\": \"odb-bench-sweep-v1\",\n");
     s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     s.push_str(&format!("  \"jobs_n\": {jobs_n},\n"));
+    if host_cores == 1 {
+        // On a 1-core host jobs=N can only tie jobs=1, so the recorded
+        // speedups verify nothing. Stamp the artifact so downstream
+        // readers (and ci.sh) can tell a vacuous baseline from a real one.
+        s.push_str("  \"parallel_unverified\": true,\n");
+    }
     s.push_str("  \"refs_per_sec\": {");
     for (i, (name, rate)) in rates.iter().enumerate() {
         if i > 0 {

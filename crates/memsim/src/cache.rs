@@ -113,6 +113,9 @@ pub struct SetAssocCache {
     policy: PolicyState,
     /// Line addresses lost to coherence invalidations and not yet
     /// re-fetched; used to classify the next miss on them.
+    // Point-access only (insert/remove/contains, never iterated) on the
+    // per-reference hot path, so hash order can never leak into sim state.
+    // odb-analyzer: allow(unordered_iteration)
     invalidated: std::collections::HashSet<u64>,
 }
 
@@ -137,6 +140,7 @@ impl SetAssocCache {
             clock: 0,
             stats: CacheStats::default(),
             policy: PolicyState::new(policy),
+            // odb-analyzer: allow(unordered_iteration) — see field above
             invalidated: std::collections::HashSet::new(),
         }
     }

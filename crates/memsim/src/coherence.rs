@@ -43,6 +43,9 @@ impl<T: Invalidate + ?Sized> Invalidate for &mut T {
 #[derive(Debug, Default)]
 pub struct Directory {
     /// Line address → bitmask of holders (bit per CPU, up to 64).
+    // Point-access only (entry/get/get_mut/remove, never iterated) on the
+    // per-reference hot path, so hash order can never leak into sim state.
+    // odb-analyzer: allow(unordered_iteration)
     holders: HashMap<u64, u64>,
     /// Total invalidation broadcasts performed.
     invalidations_sent: u64,
@@ -54,6 +57,7 @@ impl Directory {
     /// Creates an enabled directory.
     pub fn new() -> Self {
         Self {
+            // odb-analyzer: allow(unordered_iteration) — see field above
             holders: HashMap::new(),
             invalidations_sent: 0,
             enabled: true,

@@ -9,7 +9,7 @@
 
 use odb_core::Error;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A Zipf(`n`, `s`) sampler over `0..n` where rank 0 is the hottest.
@@ -93,12 +93,12 @@ const TABLE_LIMIT: u64 = 1 << 20;
 /// Process-wide cache of built CDF tables keyed by `(n, s)`. Bounded:
 /// once full, new shapes are built uncached (the sweep only ever uses a
 /// handful of shapes, so eviction machinery would be dead weight).
-type CdfCacheMap = HashMap<(u64, u64), Arc<CdfTable>>;
+type CdfCacheMap = BTreeMap<(u64, u64), Arc<CdfTable>>;
 static CDF_CACHE: OnceLock<Mutex<CdfCacheMap>> = OnceLock::new();
 const CDF_CACHE_CAP: usize = 64;
 
 fn cached_cdf_table(n: u64, s: f64) -> Arc<CdfTable> {
-    let cache = CDF_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CDF_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = (n, s.to_bits());
     let map = cache.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(table) = map.get(&key) {

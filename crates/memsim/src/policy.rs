@@ -93,6 +93,10 @@ impl PolicyState {
     pub fn new(policy: ReplacementPolicy) -> Self {
         Self {
             policy,
+            // The policy stream is fixed by design so a given geometry
+            // replays identically across points; rekeying it would change
+            // every checked-in artifact.
+            // odb-analyzer: allow(rng_discipline)
             rng: SmallRng::seed_from_u64(0x9E37_79B9),
             accesses_since_clear: 0,
         }

@@ -1,0 +1,15 @@
+//! Offline stub for `serde`: trait names + derive re-exports only.
+//! The workspace derives `Serialize`/`Deserialize` but never invokes a
+//! serializer, so blanket no-op impls satisfy any bound that appears.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// No-op stand-in for `serde::Serialize` (type namespace only; the
+/// derive macro of the same name lives in the macro namespace).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// No-op stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,15 @@
+//! Offline stub for `serde_derive`: the derive macros expand to nothing.
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (nothing actually serializes at runtime), so empty
+//! expansions are sufficient and keep the build fully offline.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
